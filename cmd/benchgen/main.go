@@ -1,0 +1,80 @@
+// Command benchgen emits synthetic benchmark problem descriptions (JSON)
+// in the style of the paper's evaluation: a fat-tree topology, spread
+// ingress/egress pairs routed by seeded random shortest paths, and one
+// generated ClassBench-style policy per ingress.
+//
+// Usage:
+//
+//	benchgen [-k 4] [-capacity 100] [-hosts 2] [-ingresses 8]
+//	         [-paths-per-ingress 8] [-rules 20] [-seed 1] [-out problem.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rulefit/internal/routing"
+	"rulefit/internal/spec"
+	"rulefit/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		k        = flag.Int("k", 4, "fat-tree arity (even)")
+		capacity = flag.Int("capacity", 100, "per-switch rule capacity")
+		hosts    = flag.Int("hosts", 2, "external ports per edge switch")
+		ingress  = flag.Int("ingresses", 8, "number of ingress ports with policies")
+		ppi      = flag.Int("paths-per-ingress", 8, "paths per ingress")
+		rules    = flag.Int("rules", 20, "rules per policy")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		outPath  = flag.String("out", "-", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	// Materialize the port pairs so the emitted file is self-contained
+	// and reproducible independent of generator internals.
+	topo, err := topology.FatTree(*k, *capacity, *hosts)
+	if err != nil {
+		return err
+	}
+	pairs, err := routing.SpreadPairs(topo, *ingress, *ppi, *seed)
+	if err != nil {
+		return err
+	}
+
+	desc := &spec.Problem{
+		Topology: spec.Topology{Type: "fattree", K: *k, Capacity: *capacity, Hosts: *hosts},
+		Routing:  spec.Routing{Seed: *seed + 1},
+	}
+	seenIngress := map[int]bool{}
+	for _, p := range pairs {
+		desc.Routing.Pairs = append(desc.Routing.Pairs, spec.Pair{In: int(p.In), Out: int(p.Out)})
+		if !seenIngress[int(p.In)] {
+			seenIngress[int(p.In)] = true
+			desc.Policies = append(desc.Policies, spec.Policy{
+				Ingress:  int(p.In),
+				Generate: &spec.Gen{NumRules: *rules, Seed: *seed},
+			})
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return desc.Save(w)
+}

@@ -1,0 +1,246 @@
+// Command experiments regenerates the paper's evaluation (§V): the
+// runtime-scaling figures (7–11), the rule-merging table (Table II), the
+// incremental-deployment study (Experiment 5), and the baseline
+// comparison the paper closes with.
+//
+// Absolute runtimes differ from the paper's CPLEX-on-Xeon setup (the
+// solvers here are pure Go, built from scratch); the experiments
+// reproduce the qualitative shapes. Scale presets:
+//
+//	-scale small   fast sanity pass (default; minutes)
+//	-scale medium  larger fat-trees, longer sweeps
+//	-scale paper   paper-sized parameters (hours; not recommended)
+//
+// Usage:
+//
+//	experiments [-exp all|1|2|3|4|5|6] [-scale small|medium|paper]
+//	            [-k 4] [-seeds 3] [-backend ilp|sat] [-timeout 60s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rulefit/internal/bench"
+	"rulefit/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// preset bundles the sweep parameters for one scale.
+type preset struct {
+	base       bench.Config
+	ruleCounts []int
+	exp1Caps   []int
+	pathCounts []int
+	exp2Caps   []int
+	mergeRules []int
+	exp3Caps   []int
+	exp4Caps   []int
+	installs   []int
+	reroutes   []int
+}
+
+func presets(scale string, k int, timeout time.Duration, backend core.Backend) (*preset, error) {
+	base := bench.Config{Seed: 0}
+	base.Opts.TimeLimit = timeout
+	base.Opts.Backend = backend
+	switch scale {
+	case "small":
+		base.K = 4
+		base.Ingresses = 8
+		base.PathsPerIngress = 8
+		base.Rules = 20
+		return &preset{
+			base:       base,
+			ruleCounts: []int{5, 10, 15, 20, 25, 30},
+			exp1Caps:   []int{25, 100},
+			pathCounts: []int{16, 32, 48, 64, 80, 96},
+			exp2Caps:   []int{25, 100},
+			mergeRules: []int{1, 2, 3, 4, 5, 6},
+			exp3Caps:   []int{8, 9, 10},
+			exp4Caps:   []int{10, 15, 20, 25, 30, 40, 100, 200},
+			installs:   []int{8, 16, 32},
+			reroutes:   []int{1, 2, 4},
+		}, nil
+	case "medium":
+		base.K = 8
+		base.Ingresses = 16
+		base.PathsPerIngress = 8
+		base.Rules = 20
+		return &preset{
+			base:       base,
+			ruleCounts: []int{10, 20, 30, 40},
+			exp1Caps:   []int{40, 200},
+			pathCounts: []int{32, 64, 128, 192},
+			exp2Caps:   []int{40, 200},
+			mergeRules: []int{2, 4, 6, 8},
+			exp3Caps:   []int{10, 12, 14},
+			exp4Caps:   []int{20, 30, 40, 60, 100, 300},
+			installs:   []int{16, 32, 64},
+			reroutes:   []int{1, 4, 8},
+		}, nil
+	case "paper":
+		base.K = k
+		if base.K == 0 {
+			base.K = 8
+		}
+		base.Ingresses = 128
+		base.PathsPerIngress = 8
+		base.Rules = 100
+		return &preset{
+			base:       base,
+			ruleCounts: []int{20, 30, 40, 50, 60, 70, 80, 90, 100, 110},
+			exp1Caps:   []int{200, 1000},
+			pathCounts: []int{256, 512, 768, 1024, 1280, 1536, 1792, 2048},
+			exp2Caps:   []int{200, 500},
+			mergeRules: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			exp3Caps:   []int{65, 70, 75},
+			exp4Caps:   []int{50, 100, 200, 300, 400, 500, 750, 1000},
+			installs:   []int{64, 128, 256},
+			reroutes:   []int{1, 16, 32},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, 6")
+		scale   = flag.String("scale", "small", "parameter scale: small, medium, paper")
+		k       = flag.Int("k", 0, "override fat-tree arity for -scale paper")
+		seeds   = flag.Int("seeds", 3, "instances per point (the paper uses 5)")
+		backend = flag.String("backend", "ilp", "solver backend: ilp or sat")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-solve time limit")
+		csvDir  = flag.String("csv", "", "also write CSV series into this directory")
+	)
+	flag.Parse()
+
+	be := core.BackendILP
+	if *backend == "sat" {
+		be = core.BackendSAT
+	}
+	p, err := presets(*scale, *k, *timeout, be)
+	if err != nil {
+		return err
+	}
+	want := func(e string) bool { return *exp == "all" || *exp == e }
+
+	if want("1") {
+		for _, kk := range exp1Arities(*scale, *k) {
+			base := p.base
+			base.K = kk
+			series, err := bench.Experiment1(base, p.ruleCounts, p.exp1Caps, *seeds)
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("Experiment 1 (Figs. 7-9 analogue): runtime vs #rules, fat-tree k=%d, %d ingresses x %d paths",
+				kk, base.Ingresses, base.PathsPerIngress)
+			fmt.Println(bench.RenderSeries(title, "#rules", series))
+			if err := writeCSV(*csvDir, fmt.Sprintf("exp1_k%d.csv", kk), "rules", series); err != nil {
+				return err
+			}
+		}
+	}
+	if want("2") {
+		series, err := bench.Experiment2(p.base, p.pathCounts, p.exp2Caps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderSeries("Experiment 2 (Fig. 10 analogue): runtime vs #paths", "#paths", series))
+		if err := writeCSV(*csvDir, "exp2.csv", "paths", series); err != nil {
+			return err
+		}
+	}
+	if want("3") {
+		base := p.base
+		base.PathsPerIngress = 4
+		base.Rules = 8
+		cells, err := bench.Experiment3(base, p.mergeRules, p.exp3Caps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderTable2(cells))
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, "exp3.csv"))
+			if err != nil {
+				return err
+			}
+			if err := bench.WriteTable2CSV(f, cells); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	if want("4") {
+		pts, err := bench.Experiment4(p.base, p.exp4Caps, *seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderPoints("Experiment 4 (Fig. 11 analogue): runtime vs switch capacity", "C", pts))
+		if err := writeCSV(*csvDir, "exp4.csv", "capacity", map[int][]bench.Point{0: pts}); err != nil {
+			return err
+		}
+	}
+	if want("5") {
+		base := p.base
+		base.Capacity = 40
+		res, err := bench.Experiment5(base, p.installs, p.reroutes)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderExp5(res))
+	}
+	if want("6") {
+		res, err := bench.Baselines(p.base)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.RenderBaselines(res))
+	}
+	return nil
+}
+
+// writeCSV emits a series into dir/name when -csv is set.
+func writeCSV(dir, name, xLabel string, series map[int][]bench.Point) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteCSV(f, xLabel, series); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// exp1Arities returns the fat-tree sizes standing in for the paper's
+// k = 8, 16, 32 figures at each scale.
+func exp1Arities(scale string, override int) []int {
+	if override != 0 {
+		return []int{override}
+	}
+	switch scale {
+	case "small":
+		return []int{4}
+	case "medium":
+		return []int{4, 6, 8}
+	default:
+		return []int{8, 16, 32}
+	}
+}

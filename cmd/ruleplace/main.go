@@ -1,0 +1,166 @@
+// Command ruleplace reads a placement problem description (JSON), solves
+// it, and prints the placement: status, rule totals, per-switch usage,
+// and optionally the full compiled TCAM tables.
+//
+// Usage:
+//
+//	ruleplace -in problem.json [-backend ilp|sat] [-objective rules|traffic]
+//	          [-merge] [-slice] [-redundancy] [-satisfy] [-tables] [-verify]
+//	          [-timeout 60s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"rulefit/internal/core"
+	"rulefit/internal/spec"
+	"rulefit/internal/topology"
+	"rulefit/internal/verify"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ruleplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inPath     = flag.String("in", "", "problem description JSON (required)")
+		backend    = flag.String("backend", "ilp", "solver backend: ilp or sat")
+		objective  = flag.String("objective", "rules", "objective: rules, traffic, weighted, or minmaxload")
+		merge      = flag.Bool("merge", false, "enable cross-policy rule merging")
+		slice      = flag.Bool("slice", false, "enable path-sliced policies (needs traffic slices)")
+		redundancy = flag.Bool("redundancy", false, "remove redundant rules first")
+		satisfy    = flag.Bool("satisfy", false, "skip optimization; find any valid placement")
+		tables     = flag.Bool("tables", false, "print compiled per-switch tables")
+		doVerify   = flag.Bool("verify", true, "verify placement semantics by sampling")
+		timeout    = flag.Duration("timeout", 120*time.Second, "solver time limit")
+		smtOut     = flag.String("smtlib", "", "also dump the SMT-LIB 2 encoding to this file")
+	)
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-in is required")
+	}
+
+	desc, err := spec.LoadFile(*inPath)
+	if err != nil {
+		return err
+	}
+	prob, err := desc.Build()
+	if err != nil {
+		return err
+	}
+
+	monitors, err := desc.BuildMonitors()
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Merging:         *merge,
+		PathSlicing:     *slice,
+		RemoveRedundant: *redundancy,
+		SatisfyOnly:     *satisfy,
+		TimeLimit:       *timeout,
+		Monitors:        monitors,
+	}
+	switch *backend {
+	case "ilp":
+		opts.Backend = core.BackendILP
+	case "sat":
+		opts.Backend = core.BackendSAT
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+	switch *objective {
+	case "rules":
+		opts.Objective = core.ObjTotalRules
+	case "traffic":
+		opts.Objective = core.ObjTraffic
+	case "weighted":
+		opts.Objective = core.ObjWeightedSwitches
+	case "minmaxload":
+		opts.Objective = core.ObjMinMaxLoad
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	if *smtOut != "" {
+		f, err := os.Create(*smtOut)
+		if err != nil {
+			return err
+		}
+		if err := core.WriteSMTLIB(f, prob, opts, !*satisfy); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("smt-lib script written to %s\n", *smtOut)
+	}
+
+	start := time.Now()
+	pl, err := core.Place(prob, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status      : %v\n", pl.Status)
+	fmt.Printf("solve time  : %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("variables   : %d\n", pl.Stats.Variables)
+	fmt.Printf("constraints : %d\n", pl.Stats.Constraints)
+	if pl.Status != core.StatusOptimal && pl.Status != core.StatusFeasible {
+		return nil
+	}
+	fmt.Printf("total rules : %d\n", pl.TotalRules)
+	fmt.Printf("objective   : %g\n", pl.Objective)
+	if opts.Objective == core.ObjMinMaxLoad {
+		fmt.Printf("max load    : %.1f%%\n", 100*pl.MaxLoad)
+	}
+
+	net, err := pl.BuildTables(prob)
+	if err != nil {
+		return err
+	}
+	// Per-switch usage summary.
+	ids := make([]topology.SwitchID, 0, len(net.Tables))
+	for id := range net.Tables {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	fmt.Println("per-switch usage:")
+	for _, id := range ids {
+		sw, _ := prob.Network.Switch(id)
+		fmt.Printf("  switch %4d: %4d / %d\n", id, net.Tables[id].Size(), sw.Capacity)
+	}
+	if *tables {
+		for _, id := range ids {
+			fmt.Print(net.Tables[id])
+		}
+	}
+	if *doVerify {
+		viol := verify.Semantics(net, prob.Routing, pl.Policies, verify.Config{Seed: 1})
+		if len(viol) == 0 {
+			fmt.Println("verification: OK (sampled semantics preserved)")
+		} else {
+			fmt.Printf("verification: %d VIOLATIONS\n", len(viol))
+			for _, v := range viol {
+				fmt.Println("  ", v)
+			}
+			return fmt.Errorf("placement failed verification")
+		}
+		if cv := verify.Capacities(net, prob.Network); len(cv) > 0 {
+			for _, v := range cv {
+				fmt.Println("  capacity:", v)
+			}
+			return fmt.Errorf("capacity verification failed")
+		}
+	}
+	return nil
+}

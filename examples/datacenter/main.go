@@ -1,0 +1,105 @@
+// Datacenter: a multi-tenant fat-tree where every tenant attaches a
+// firewall policy at its ingress and the operator adds a network-wide
+// blacklist. The example contrasts placement with and without
+// cross-policy rule merging (§IV-B) and with the naive
+// replicate-everywhere strategy, then sweeps switch capacity to show
+// the duplication overhead shrinking as TCAMs grow (Table II's effect).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rulefit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("datacenter:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		k        = 4
+		tenants  = 6
+		rules    = 10
+		paths    = 4
+		mergeful = 4 // shared blacklist entries
+	)
+	topo, err := rulefit.FatTree(k, 0, 2)
+	if err != nil {
+		return err
+	}
+	pairs, err := rulefit.SpreadPairs(topo, tenants, paths, 11)
+	if err != nil {
+		return err
+	}
+	rt, err := rulefit.BuildRouting(topo, pairs, 12)
+	if err != nil {
+		return err
+	}
+
+	// Tenant policies plus the operator blacklist at top priority.
+	blacklist := rulefit.GenerateBlacklist(mergeful, 99)
+	var policies []*rulefit.Policy
+	for _, in := range rt.Ingresses() {
+		pol := rulefit.GeneratePolicy(int(in), rulefit.GenConfig{NumRules: rules, Seed: 21})
+		policies = append(policies, rulefit.WithBlacklist(pol, blacklist))
+	}
+	prob := &rulefit.Problem{Network: topo, Routing: rt, Policies: policies}
+
+	fmt.Printf("fat-tree k=%d: %d switches, %d tenants x %d rules (+%d shared blacklist), %d paths\n\n",
+		k, topo.NumSwitches(), tenants, rules, mergeful, rt.NumPaths())
+	fmt.Printf("%-10s | %-12s | %-12s | %-14s\n", "capacity", "no merging", "with merging", "replicate p x r")
+	fmt.Println("-----------+--------------+--------------+----------------")
+
+	for _, capacity := range []int{8, 10, 14, 20, 40} {
+		topo.SetCapacity(capacity)
+
+		plain, err := rulefit.Place(prob, rulefit.Options{TimeLimit: 60 * time.Second})
+		if err != nil {
+			return err
+		}
+		merged, err := rulefit.Place(prob, rulefit.Options{Merging: true, TimeLimit: 60 * time.Second})
+		if err != nil {
+			return err
+		}
+		repl, err := rulefit.ReplicateEverywhere(prob, rulefit.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d | %-12s | %-12s | %-14d\n",
+			capacity, cellOf(plain), cellOf(merged), repl.TotalRules)
+
+		// Sanity: whenever a placement exists, it must verify.
+		if merged.Status == rulefit.StatusOptimal || merged.Status == rulefit.StatusFeasible {
+			tables, err := merged.BuildTables(prob)
+			if err != nil {
+				return err
+			}
+			if v := rulefit.VerifySemantics(tables, rt, merged.Policies, rulefit.VerifyConfig{Seed: 5, SamplesPerRule: 2, RandomSamples: 8}); len(v) > 0 {
+				return fmt.Errorf("capacity %d: semantics violated: %v", capacity, v)
+			}
+		}
+	}
+	fmt.Println("\nmerging installs the shared blacklist once per switch instead of once per tenant;")
+	fmt.Println("tight capacities become feasible and the optimizer stays far below the p x r bound.")
+	return nil
+}
+
+// cellOf renders one result cell.
+func cellOf(pl *rulefit.Placement) string {
+	switch pl.Status {
+	case rulefit.StatusOptimal:
+		return fmt.Sprintf("%d", pl.TotalRules)
+	case rulefit.StatusFeasible:
+		return fmt.Sprintf("%d*", pl.TotalRules)
+	default:
+		return "Inf"
+	}
+}

@@ -1,0 +1,118 @@
+// Incremental: the network is already running a solved placement; a new
+// tenant arrives and a routing change hits an existing tenant. Both
+// updates are handled incrementally (§IV-E) against the spare TCAM
+// capacity, without disturbing any installed rule, and the update
+// latency is compared against a full from-scratch re-solve.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rulefit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("incremental:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	topo, err := rulefit.FatTree(4, 40, 2)
+	if err != nil {
+		return err
+	}
+	pairs, err := rulefit.SpreadPairs(topo, 8, 6, 31)
+	if err != nil {
+		return err
+	}
+	rt, err := rulefit.BuildRouting(topo, pairs, 32)
+	if err != nil {
+		return err
+	}
+	var policies []*rulefit.Policy
+	for _, in := range rt.Ingresses() {
+		policies = append(policies, rulefit.GeneratePolicy(int(in), rulefit.GenConfig{NumRules: 15, Seed: 41}))
+	}
+	prob := &rulefit.Problem{Network: topo, Routing: rt, Policies: policies}
+
+	start := time.Now()
+	base, err := rulefit.Place(prob, rulefit.Options{TimeLimit: 120 * time.Second})
+	if err != nil {
+		return err
+	}
+	baseTime := time.Since(start)
+	if base.Status != rulefit.StatusOptimal && base.Status != rulefit.StatusFeasible {
+		return fmt.Errorf("base placement %v", base.Status)
+	}
+	fmt.Printf("initial placement: %v, %d rules, %v\n", base.Status, base.TotalRules, baseTime.Round(time.Millisecond))
+
+	spare := rulefit.SpareCapacities(prob, base)
+	total := 0
+	for _, v := range spare {
+		total += v
+	}
+	fmt.Printf("spare capacity across the fabric: %d slots\n\n", total)
+
+	// --- Update 1: a new tenant arrives at a fresh ingress port. ---
+	newTopo := topo.Clone()
+	const newPort = rulefit.PortID(500)
+	edge := topo.IngressPorts()[0].Switch
+	if err := newTopo.AddPort(rulefit.ExternalPort{ID: newPort, Switch: edge, Ingress: true}); err != nil {
+		return err
+	}
+	out := topo.EgressPorts()[len(topo.EgressPorts())-1]
+	sw, err := rulefit.ShortestPath(newTopo, edge, out.Switch)
+	if err != nil {
+		return err
+	}
+	newRt := rulefit.NewRouting()
+	newRt.Add(rulefit.Path{Ingress: newPort, Egress: out.ID, Switches: sw})
+	newPol := rulefit.GeneratePolicy(int(newPort), rulefit.GenConfig{NumRules: 12, Seed: 77})
+
+	probWithPort := &rulefit.Problem{Network: newTopo, Routing: rt, Policies: policies}
+	start = time.Now()
+	inc, err := rulefit.IncrementalAdd(probWithPort, base, []*rulefit.Policy{newPol}, newRt, rulefit.Options{})
+	if err != nil {
+		return err
+	}
+	incTime := time.Since(start)
+	speedup := float64(baseTime) / float64(maxDur(incTime, time.Microsecond))
+	fmt.Printf("tenant install (12 rules, 1 path): %v in %v — %.0fx faster than the base solve\n",
+		inc.Status, incTime.Round(time.Microsecond), speedup)
+
+	// --- Update 2: reroute an existing tenant onto fewer paths. ---
+	victim := policies[0]
+	old := rt.Sets[rulefit.PortID(victim.Ingress)]
+	newSet := &rulefit.PathSet{Ingress: rulefit.PortID(victim.Ingress), Paths: old.Paths[:len(old.Paths)-2]}
+	start = time.Now()
+	re, err := rulefit.IncrementalReroute(prob, base, victim.Ingress, newSet, rulefit.Options{})
+	if err != nil {
+		return err
+	}
+	reTime := time.Since(start)
+	fmt.Printf("reroute tenant %d (%d -> %d paths):  %v in %v\n",
+		victim.Ingress, len(old.Paths), len(newSet.Paths), re.Status, reTime.Round(time.Microsecond))
+
+	// --- Compare: full re-solve from scratch. ---
+	start = time.Now()
+	if _, err := rulefit.Place(prob, rulefit.Options{TimeLimit: 120 * time.Second}); err != nil {
+		return err
+	}
+	fmt.Printf("\nfull re-solve for comparison: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println("incremental updates run in a fraction of the from-scratch time, as §IV-E intends.")
+	return nil
+}
+
+// maxDur returns the larger duration (guards division by zero).
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+// Satbackend: the same placement problem solved by both formulations —
+// the ILP encoding (Eqs. 1–5) and the satisfiability/pseudo-Boolean
+// encoding (Eqs. 6–8) — demonstrating that the two agree on feasibility
+// and on the optimum, and comparing their runtime characters. The SAT
+// backend is also run in pure satisfiability mode, the paper's fast
+// path for urgent security updates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"rulefit"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Println("satbackend:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	topo, err := rulefit.FatTree(4, 30, 2)
+	if err != nil {
+		return err
+	}
+	pairs, err := rulefit.SpreadPairs(topo, 6, 6, 3)
+	if err != nil {
+		return err
+	}
+	rt, err := rulefit.BuildRouting(topo, pairs, 4)
+	if err != nil {
+		return err
+	}
+	var policies []*rulefit.Policy
+	for _, in := range rt.Ingresses() {
+		policies = append(policies, rulefit.GeneratePolicy(int(in), rulefit.GenConfig{NumRules: 12, Seed: 9}))
+	}
+	prob := &rulefit.Problem{Network: topo, Routing: rt, Policies: policies}
+
+	type runRes struct {
+		name  string
+		pl    *rulefit.Placement
+		taken time.Duration
+	}
+	var results []runRes
+	for _, mode := range []struct {
+		name string
+		opts rulefit.Options
+	}{
+		{"ILP optimize", rulefit.Options{Backend: rulefit.BackendILP}},
+		{"SAT optimize", rulefit.Options{Backend: rulefit.BackendSAT}},
+		{"SAT satisfy-only", rulefit.Options{Backend: rulefit.BackendSAT, SatisfyOnly: true}},
+		{"ILP satisfy-only", rulefit.Options{Backend: rulefit.BackendILP, SatisfyOnly: true}},
+	} {
+		mode.opts.TimeLimit = 120 * time.Second
+		start := time.Now()
+		pl, err := rulefit.Place(prob, mode.opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, runRes{mode.name, pl, time.Since(start)})
+	}
+
+	fmt.Printf("%-18s | %-10s | %-11s | %-10s\n", "mode", "status", "total rules", "time")
+	fmt.Println("-------------------+------------+-------------+-----------")
+	for _, r := range results {
+		rules := "-"
+		if r.pl.Status == rulefit.StatusOptimal || r.pl.Status == rulefit.StatusFeasible {
+			rules = fmt.Sprintf("%d", r.pl.TotalRules)
+		}
+		fmt.Printf("%-18s | %-10v | %-11s | %-10v\n", r.name, r.pl.Status, rules, r.taken.Round(time.Millisecond))
+	}
+
+	ilpOpt, satOpt := results[0].pl, results[1].pl
+	if ilpOpt.Status == rulefit.StatusOptimal && satOpt.Status == rulefit.StatusOptimal {
+		if ilpOpt.TotalRules != satOpt.TotalRules {
+			return fmt.Errorf("backends disagree: ILP %d vs SAT %d", ilpOpt.TotalRules, satOpt.TotalRules)
+		}
+		fmt.Printf("\nboth exact backends prove the same optimum: %d rules\n", ilpOpt.TotalRules)
+	}
+
+	// The satisfy-only placements are valid even if not optimal.
+	for _, r := range results[2:] {
+		if r.pl.Status != rulefit.StatusOptimal && r.pl.Status != rulefit.StatusFeasible {
+			continue
+		}
+		tables, err := r.pl.BuildTables(prob)
+		if err != nil {
+			return err
+		}
+		if v := rulefit.VerifySemantics(tables, rt, r.pl.Policies, rulefit.VerifyConfig{Seed: 2, SamplesPerRule: 2, RandomSamples: 8}); len(v) > 0 {
+			return fmt.Errorf("%s: semantics violated: %v", r.name, v)
+		}
+	}
+	fmt.Println("satisfy-only placements verified; they trade optimality for solve speed (§IV-E).")
+	return nil
+}

@@ -1,0 +1,3 @@
+module rulefit
+
+go 1.22

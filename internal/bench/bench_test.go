@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rulefit/internal/core"
+)
+
+// tiny returns the smallest meaningful workload for structure tests.
+func tiny() Config {
+	cfg := Config{K: 4, Ingresses: 4, PathsPerIngress: 2, Rules: 6, Capacity: 50, Seed: 1}
+	cfg.Opts.TimeLimit = 60 * time.Second
+	return cfg
+}
+
+func TestBuildWorkload(t *testing.T) {
+	prob, err := Build(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prob.Policies); got != 4 {
+		t.Errorf("policies = %d, want 4", got)
+	}
+	if got := prob.Routing.NumPaths(); got != 8 {
+		t.Errorf("paths = %d, want 8", got)
+	}
+	if prob.Network.NumSwitches() != 20 {
+		t.Errorf("switches = %d, want 20 (k=4 fat-tree)", prob.Network.NumSwitches())
+	}
+}
+
+func TestBuildWithMergeable(t *testing.T) {
+	cfg := tiny()
+	cfg.Mergeable = 3
+	prob, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range prob.Policies {
+		if len(pol.Rules) != 9 {
+			t.Errorf("policy has %d rules, want 6+3", len(pol.Rules))
+		}
+	}
+	// The top 3 rules must be identical across policies (mergeable).
+	for r := 0; r < 3; r++ {
+		m := prob.Policies[0].Rules[r].Match
+		for _, pol := range prob.Policies[1:] {
+			if !pol.Rules[r].Match.Equal(m) {
+				t.Errorf("blacklist rule %d differs across policies", r)
+			}
+		}
+	}
+}
+
+func TestRunProducesResult(t *testing.T) {
+	res, err := Run(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.TotalRules == 0 || res.Variables == 0 || res.Time == 0 {
+		t.Errorf("result not populated: %+v", res)
+	}
+}
+
+func TestExperiment1Shape(t *testing.T) {
+	series, err := Experiment1(tiny(), []int{4, 8}, []int{50}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := series[50]
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if len(p.Statuses) != 2 {
+			t.Errorf("point has %d statuses, want 2 seeds", len(p.Statuses))
+		}
+		if p.Min > p.Mean || p.Mean > p.Max {
+			t.Errorf("min/mean/max inconsistent: %+v", p)
+		}
+		if !p.Feasible() {
+			t.Errorf("tiny workload should be feasible: %+v", p)
+		}
+	}
+	out := RenderSeries("t", "#rules", series)
+	if !strings.Contains(out, "C=50") {
+		t.Errorf("render missing capacity header:\n%s", out)
+	}
+}
+
+func TestExperiment2Shape(t *testing.T) {
+	series, err := Experiment2(tiny(), []int{4, 8}, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series[50]) != 2 {
+		t.Fatalf("points = %d", len(series[50]))
+	}
+}
+
+func TestExperiment3ShapeAndRender(t *testing.T) {
+	cfg := tiny()
+	cells, err := Experiment3(cfg, []int{2}, []int{6, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 { // 1 mr x 2 caps x {plain, merged}
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// With slack capacity, merging must not increase the rule count.
+	var plain, merged *Table2Cell
+	for i := range cells {
+		c := &cells[i]
+		if c.Capacity == 50 {
+			if c.Merging {
+				merged = c
+			} else {
+				plain = c
+			}
+		}
+	}
+	if plain == nil || merged == nil {
+		t.Fatal("missing cells")
+	}
+	if !plain.Infeasible && !merged.Infeasible && merged.TotalRules > plain.TotalRules {
+		t.Errorf("merging increased rules: %d > %d", merged.TotalRules, plain.TotalRules)
+	}
+	out := RenderTable2(cells)
+	if !strings.Contains(out, "#MR") || !strings.Contains(out, "50-MR") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestExperiment4Shape(t *testing.T) {
+	pts, err := Experiment4(tiny(), []int{6, 50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if out := RenderPoints("t", "C", pts); !strings.Contains(out, "C") {
+		t.Error("render empty")
+	}
+}
+
+func TestExperiment5EndToEnd(t *testing.T) {
+	cfg := tiny()
+	cfg.Capacity = 60
+	res, err := Experiment5(cfg, []int{2}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InstallTimes) != 1 || len(res.RerouteTimes) != 1 {
+		t.Fatalf("times missing: %+v", res)
+	}
+	if !res.InstallOK[0] {
+		t.Error("tiny install should fit in spare capacity")
+	}
+	if res.BaseRules == 0 {
+		t.Error("base rules not recorded")
+	}
+	if out := RenderExp5(res); !strings.Contains(out, "install") {
+		t.Error("render malformed")
+	}
+}
+
+func TestBaselinesOrdering(t *testing.T) {
+	res, err := Baselines(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalRules == 0 {
+		t.Fatal("optimal failed")
+	}
+	if res.GreedyOK && res.GreedyRules < res.OptimalRules {
+		t.Errorf("greedy (%d) beat optimal (%d)", res.GreedyRules, res.OptimalRules)
+	}
+	if res.ReplicaRules < res.OptimalRules {
+		t.Errorf("replication (%d) beat optimal (%d)", res.ReplicaRules, res.OptimalRules)
+	}
+	if res.PXR < res.ReplicaRules {
+		t.Errorf("p x r bound (%d) below replication (%d)", res.PXR, res.ReplicaRules)
+	}
+	if out := RenderBaselines(res); !strings.Contains(out, "p x r") {
+		t.Error("render malformed")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.K == 0 || cfg.Rules == 0 || cfg.Capacity == 0 || cfg.Opts.TimeLimit == 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	if fmtDur(2*time.Second) != "2.00s" {
+		t.Error(fmtDur(2 * time.Second))
+	}
+	if fmtDur(1500*time.Microsecond) != "1.5ms" {
+		t.Error(fmtDur(1500 * time.Microsecond))
+	}
+	if fmtDur(800*time.Nanosecond) != "0µs" {
+		t.Error(fmtDur(800 * time.Nanosecond))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	series := map[int][]Point{
+		50: {{X: 4, Capacity: 50, Mean: 2 * time.Millisecond, Min: time.Millisecond, Max: 3 * time.Millisecond, Statuses: []core.Status{core.StatusOptimal}}},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, "rules", series); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "rules,capacity,mean_ms") || !strings.Contains(out, "4,50,2.000,1.000,3.000,true") {
+		t.Errorf("csv malformed:\n%s", out)
+	}
+	var sb2 strings.Builder
+	cells := []Table2Cell{{MergeableRules: 2, Capacity: 8, Merging: true, TotalRules: 48, OverheadPct: -7.5, Proven: true}}
+	if err := WriteTable2CSV(&sb2, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "2,8,true,false,48,-7.5,true") {
+		t.Errorf("table2 csv malformed:\n%s", sb2.String())
+	}
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderSeries prints a runtime-vs-parameter figure as an aligned text
+// table, one column block per capacity, matching the series the paper's
+// figures plot (mean with min-max variation, "Inf" for infeasible runs).
+func RenderSeries(title, xLabel string, series map[int][]Point) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	caps := make([]int, 0, len(series))
+	for c := range series {
+		caps = append(caps, c)
+	}
+	sort.Ints(caps)
+	fmt.Fprintf(&sb, "%-8s", xLabel)
+	for _, c := range caps {
+		fmt.Fprintf(&sb, " | %-28s", fmt.Sprintf("C=%d mean [min..max]", c))
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("-", 8+len(caps)*31))
+	sb.WriteByte('\n')
+	if len(caps) == 0 {
+		return sb.String()
+	}
+	for i := range series[caps[0]] {
+		fmt.Fprintf(&sb, "%-8d", series[caps[0]][i].X)
+		for _, c := range caps {
+			p := series[c][i]
+			status := ""
+			if !p.Feasible() {
+				status = " (Inf)"
+			}
+			fmt.Fprintf(&sb, " | %-28s", fmt.Sprintf("%s [%s..%s]%s", fmtDur(p.Mean), fmtDur(p.Min), fmtDur(p.Max), status))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderPoints prints a single series.
+func RenderPoints(title, xLabel string, pts []Point) string {
+	series := map[int][]Point{}
+	for _, p := range pts {
+		series[p.Capacity] = append(series[p.Capacity], p)
+	}
+	if len(series) != 1 {
+		// Capacity varies along X (Experiment 4): flatten under one key.
+		series = map[int][]Point{0: pts}
+	}
+	return RenderSeries(title, xLabel, series)
+}
+
+// RenderTable2 prints Experiment 3 in the paper's Table II layout:
+// one row per mergeable-rule count, column pairs (total, overhead%) for
+// each capacity with and without merging.
+func RenderTable2(cells []Table2Cell) string {
+	caps := map[int]bool{}
+	rows := map[int]bool{}
+	type key struct {
+		mr, c   int
+		merging bool
+	}
+	byKey := map[key]Table2Cell{}
+	for _, cell := range cells {
+		caps[cell.Capacity] = true
+		rows[cell.MergeableRules] = true
+		byKey[key{cell.MergeableRules, cell.Capacity, cell.Merging}] = cell
+	}
+	capList := make([]int, 0, len(caps))
+	for c := range caps {
+		capList = append(capList, c)
+	}
+	sort.Ints(capList)
+	rowList := make([]int, 0, len(rows))
+	for r := range rows {
+		rowList = append(rowList, r)
+	}
+	sort.Ints(rowList)
+
+	var sb strings.Builder
+	sb.WriteString("Table II: capacity vs overhead in rule merging\n")
+	fmt.Fprintf(&sb, "%-6s", "#MR")
+	for _, c := range capList {
+		fmt.Fprintf(&sb, " | %-16s | %-16s", fmt.Sprintf("%d", c), fmt.Sprintf("%d-MR", c))
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("-", 6+len(capList)*38))
+	sb.WriteByte('\n')
+	for _, mr := range rowList {
+		fmt.Fprintf(&sb, "%-6d", mr)
+		for _, c := range capList {
+			for _, merging := range []bool{false, true} {
+				cell, ok := byKey[key{mr, c, merging}]
+				text := "-"
+				if ok {
+					if cell.Infeasible {
+						text = "Inf"
+					} else {
+						star := ""
+						if !cell.Proven {
+							star = "*"
+						}
+						text = fmt.Sprintf("%d%s  %+.0f%%", cell.TotalRules, star, cell.OverheadPct)
+					}
+				}
+				fmt.Fprintf(&sb, " | %-16s", text)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderExp5 prints the incremental-deployment study.
+func RenderExp5(r *Exp5Result) string {
+	var sb strings.Builder
+	sb.WriteString("Experiment 5: incremental deployment\n")
+	fmt.Fprintf(&sb, "base solve: %s (%d rules installed)\n", fmtDur(r.BaseTime), r.BaseRules)
+	for i, n := range r.Installs {
+		status := "feasible"
+		if !r.InstallOK[i] {
+			status = "infeasible"
+		}
+		fmt.Fprintf(&sb, "install %4d new policies: %10s  (%s)\n", n, fmtDur(r.InstallTimes[i]), status)
+	}
+	for i, n := range r.Reroutes {
+		status := "feasible"
+		if !r.RerouteOK[i] {
+			status = "infeasible"
+		}
+		fmt.Fprintf(&sb, "reroute %4d policies:     %10s  (%s)\n", n, fmtDur(r.RerouteTimes[i]), status)
+	}
+	fmt.Fprintf(&sb, "from-scratch re-solve for comparison: %s\n", fmtDur(r.FromScratchCmp))
+	return sb.String()
+}
+
+// RenderBaselines prints the strategy comparison.
+func RenderBaselines(r *BaselineResult) string {
+	var sb strings.Builder
+	sb.WriteString("Baseline comparison (same workload)\n")
+	fmt.Fprintf(&sb, "optimal ILP placement : %6d rules  (%s)\n", r.OptimalRules, fmtDur(r.OptimalTime))
+	if r.GreedyOK {
+		fmt.Fprintf(&sb, "greedy ingress-first  : %6d rules  (%s)\n", r.GreedyRules, fmtDur(r.GreedyTime))
+	} else {
+		fmt.Fprintf(&sb, "greedy ingress-first  : infeasible   (%s)\n", fmtDur(r.GreedyTime))
+	}
+	fmt.Fprintf(&sb, "replicate-per-path    : %6d rules\n", r.ReplicaRules)
+	fmt.Fprintf(&sb, "naive p x r bound     : %6d rules\n", r.PXR)
+	if r.PXR > 0 && r.OptimalRules > 0 {
+		fmt.Fprintf(&sb, "optimal uses %.0f%% of the p x r bound\n", 100*float64(r.OptimalRules)/float64(r.PXR))
+	}
+	return sb.String()
+}
+
+// fmtDur renders durations compactly with millisecond resolution.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// WriteCSV emits a point series as CSV (x, capacity, mean_ms, min_ms,
+// max_ms, feasible) for plotting with external tools.
+func WriteCSV(w io.Writer, xLabel string, series map[int][]Point) error {
+	if _, err := fmt.Fprintf(w, "%s,capacity,mean_ms,min_ms,max_ms,feasible\n", xLabel); err != nil {
+		return err
+	}
+	caps := make([]int, 0, len(series))
+	for c := range series {
+		caps = append(caps, c)
+	}
+	sort.Ints(caps)
+	for _, c := range caps {
+		for _, p := range series[c] {
+			if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%.3f,%.3f,%v\n",
+				p.X, c, ms(p.Mean), ms(p.Min), ms(p.Max), p.Feasible()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTable2CSV emits Experiment 3 cells as CSV.
+func WriteTable2CSV(w io.Writer, cells []Table2Cell) error {
+	if _, err := fmt.Fprintln(w, "mergeable,capacity,merging,infeasible,total_rules,overhead_pct,proven"); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if _, err := fmt.Fprintf(w, "%d,%d,%v,%v,%d,%.1f,%v\n",
+			c.MergeableRules, c.Capacity, c.Merging, c.Infeasible, c.TotalRules, c.OverheadPct, c.Proven); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ms converts a duration to fractional milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"rulefit/internal/topology"
+)
+
+// ReplicateEverywhere is the baseline the paper contrasts against in §V:
+// techniques that "place all rules in all paths and thus end up placing
+// p x r rules in the network" [Kang et al.]. Each path receives a full
+// copy of its ingress policy's placed rules on the path's last switch,
+// so distinct paths duplicate rules freely. Capacity constraints are
+// ignored — the baseline exists to quantify rule-count overhead; callers
+// can audit violations through verify.Capacities.
+func ReplicateEverywhere(prob *Problem, opts Options) (*Placement, error) {
+	opts = opts.withDefaults()
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	enc, err := buildEncoding(prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	pl := &Placement{Policies: enc.policies, Status: StatusFeasible}
+	pl.Assign = make([][][]topology.SwitchID, len(enc.policies))
+	for pi, pol := range enc.policies {
+		pl.Assign[pi] = make([][]topology.SwitchID, len(pol.Rules))
+	}
+	for pi, pol := range enc.policies {
+		ps := prob.Routing.Sets[topology.PortID(pol.Ingress)]
+		g := enc.graphs[pi]
+		placedRules := g.PlacedRules()
+		for _, path := range ps.Paths {
+			sw := path.Switches[len(path.Switches)-1]
+			for _, ri := range placedRules {
+				if containsSwitch(pl.Assign[pi][ri], sw) {
+					continue
+				}
+				pl.Assign[pi][ri] = append(pl.Assign[pi][ri], sw)
+				pl.TotalRules++
+			}
+		}
+	}
+	pl.Objective = float64(pl.TotalRules)
+	sortAssign(pl)
+	return pl, nil
+}
+
+// containsSwitch reports membership in a small slice.
+func containsSwitch(sws []topology.SwitchID, sw topology.SwitchID) bool {
+	for _, s := range sws {
+		if s == sw {
+			return true
+		}
+	}
+	return false
+}
+
+// PXRBound returns the p x r figure the paper quotes for naive
+// replication: total paths times rules per policy, summed per ingress.
+func PXRBound(prob *Problem) int {
+	total := 0
+	for _, pol := range prob.Policies {
+		ps, ok := prob.Routing.Sets[topology.PortID(pol.Ingress)]
+		if !ok {
+			continue
+		}
+		total += len(ps.Paths) * len(pol.Rules)
+	}
+	return total
+}

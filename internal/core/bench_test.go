@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+// benchProblem builds a mid-size fat-tree workload once per benchmark.
+func benchProblem(b *testing.B, capacity int) *Problem {
+	b.Helper()
+	topo, err := topology.FatTree(4, capacity, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := routing.SpreadPairs(topo, 6, 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := routing.BuildRouting(topo, pairs, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pols []*policy.Policy
+	for _, in := range rt.Ingresses() {
+		pols = append(pols, policy.Generate(int(in), policy.GenConfig{NumRules: 12, Seed: 5}))
+	}
+	return &Problem{Network: topo, Routing: rt, Policies: pols}
+}
+
+func BenchmarkEncodingBuild(b *testing.B) {
+	prob := benchProblem(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := buildEncoding(prob, Options{}.withDefaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceILP(b *testing.B) {
+	prob := benchProblem(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := Place(prob, Options{TimeLimit: 2 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pl.Status != StatusOptimal {
+			b.Fatalf("status %v", pl.Status)
+		}
+	}
+}
+
+func BenchmarkPlaceSATSatisfy(b *testing.B) {
+	prob := benchProblem(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := Place(prob, Options{Backend: BackendSAT, SatisfyOnly: true, TimeLimit: 2 * time.Minute})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pl.Status != StatusFeasible {
+			b.Fatalf("status %v", pl.Status)
+		}
+	}
+}
+
+func BenchmarkGreedyPlace(b *testing.B) {
+	prob := benchProblem(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyPlace(prob, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTables(b *testing.B) {
+	prob := benchProblem(b, 50)
+	pl, err := Place(prob, Options{TimeLimit: 2 * time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.BuildTables(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

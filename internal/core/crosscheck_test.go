@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rulefit/internal/ilp"
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+// TestBackendFeasibilityCrossCheck pits the two exact backends against
+// each other on a mid-size instance: the SAT
+// backend finds a valid placement, so the ILP (under full pricing) must
+// not return Infeasible.
+func TestBackendFeasibilityCrossCheck(t *testing.T) {
+	topo, err := topology.FatTree(4, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := routing.SpreadPairs(topo, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := routing.BuildRouting(topo, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pols []*policy.Policy
+	for _, in := range rt.Ingresses() {
+		pols = append(pols, policy.Generate(int(in), policy.GenConfig{NumRules: 20, Seed: 1}))
+	}
+	prob := &Problem{Network: topo, Routing: rt, Policies: pols}
+	enc, err := buildEncoding(prob, Options{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SAT witness.
+	satPl, err := solveSAT(enc, Options{Backend: BackendSAT, SatisfyOnly: true, TimeLimit: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satPl.Status != StatusFeasible {
+		t.Fatalf("SAT status %v; instance assumed feasible", satPl.Status)
+	}
+
+	// ILP with full pricing, root LP only (node cap 1).
+	m := ilp.NewModel()
+	ids := make([]int, len(enc.vars))
+	for id := range enc.vars {
+		ids[id] = m.AddBinary("v", 1)
+	}
+	for _, imp := range enc.imps {
+		m.AddConstraint([]ilp.Term{{Var: ids[imp[0]], Coef: 1}, {Var: ids[imp[1]], Coef: -1}}, ilp.LE, 0, "dep")
+	}
+	for _, cover := range enc.covers {
+		terms := make([]ilp.Term, len(cover))
+		for i, v := range cover {
+			terms[i] = ilp.Term{Var: ids[v], Coef: 1}
+		}
+		m.AddConstraint(terms, ilp.GE, 1, "path")
+	}
+	for _, row := range enc.capRows {
+		terms := make([]ilp.Term, 0, len(row.ruleVars))
+		for _, v := range row.ruleVars {
+			terms = append(terms, ilp.Term{Var: ids[v], Coef: 1})
+		}
+		m.AddConstraint(terms, ilp.LE, float64(row.cap), "cap")
+	}
+	sol, err := ilp.Solve(m, ilp.Options{TimeLimit: 30 * time.Second, NodeLimit: 1, FullPricing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full-pricing root: status=%v iters=%d", sol.Status, sol.Stats.SimplexIters)
+	if sol.Status == ilp.Infeasible {
+		t.Fatal("FALSE INFEASIBLE: full-pricing root LP declared infeasible against a SAT witness")
+	}
+}

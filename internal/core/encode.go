@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rulefit/internal/deps"
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+// The encoding is a backend-neutral intermediate representation of the
+// paper's constraint system. Both the ILP and SAT backends are generated
+// from it, which keeps the two formulations provably aligned and makes
+// backend ablations meaningful.
+
+// varKind distinguishes placement variables from merged-rule variables.
+type varKind int8
+
+const (
+	varRule   varKind = iota + 1 // v_{i,j,k}: rule j of policy i on switch k
+	varMerged                    // v^m_{g,k}: merge group g installed at switch k
+)
+
+// evar is one 0/1 decision variable.
+type evar struct {
+	kind  varKind
+	pol   int // policy index (varRule)
+	rule  int // rule index (varRule)
+	group int // group index (varMerged)
+	sw    topology.SwitchID
+}
+
+// mergeCons ties a merged variable to its member rule variables:
+// mv = AND(members) (Eqs. 4–5 / Eq. 8).
+type mergeCons struct {
+	mv      int
+	members []int
+}
+
+// capRow is one switch capacity constraint: sum of rule vars at the
+// switch, with each merged var contributing -(M-1), must be <= cap.
+type capRow struct {
+	sw       topology.SwitchID
+	ruleVars []int
+	merged   []mergeTerm
+	cap      int
+}
+
+// mergeTerm is a merged variable's contribution to a capacity row or the
+// objective: coefficient -(members-1).
+type mergeTerm struct {
+	mv      int
+	savings int // members-1 (>= 1)
+}
+
+// encoding is the assembled constraint system.
+type encoding struct {
+	prob *Problem
+	opts Options
+
+	policies []*policy.Policy // after optional redundancy removal
+	graphs   []*deps.Graph
+
+	vars    []evar
+	index   map[evar]int
+	byRule  map[[2]int][]int // (pol, rule) -> var ids
+	imps    [][2]int         // [w, u]: v_w -> v_u (Eq. 1 / Eq. 6)
+	covers  [][]int          // at-least-one over var ids (Eq. 2 / Eq. 7)
+	merges  []mergeCons
+	capRows []capRow
+
+	groups  []deps.MergeGroup
+	dummies []deps.DummyRule
+
+	// infeasibleReason is set when the encoding itself proves the
+	// instance unsatisfiable (e.g. a monitor forbids every candidate
+	// switch of some DROP rule on some path).
+	infeasibleReason string
+
+	// trafficWeight[v] is loc(s_k, P_i) + 1 for rule vars (>= 1 so that
+	// placing fewer rules still helps) and the merged adjustment for
+	// merged vars; used by ObjTraffic.
+	trafficWeight []int64
+}
+
+// buildEncoding assembles the constraint system for a validated problem.
+func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
+	e := &encoding{
+		prob:   prob,
+		opts:   opts,
+		index:  make(map[evar]int),
+		byRule: make(map[[2]int][]int),
+	}
+
+	// Stage 1 (optional): redundancy removal, per Fig. 4.
+	e.policies = make([]*policy.Policy, len(prob.Policies))
+	for i, pol := range prob.Policies {
+		if opts.RemoveRedundant {
+			reduced, _ := policy.RemoveRedundant(pol)
+			e.policies[i] = reduced
+		} else {
+			e.policies[i] = pol.Clone()
+		}
+	}
+
+	// Stage 2: dependency graphs.
+	e.graphs = make([]*deps.Graph, len(e.policies))
+	for i, pol := range e.policies {
+		e.graphs[i] = deps.BuildGraph(pol)
+	}
+
+	// Stage 3: variables. For each policy, DROP rules get variables on
+	// the switches of their relevant paths; dependent PERMIT rules get
+	// variables wherever one of their drops might go.
+	for pi, pol := range e.policies {
+		ps := prob.Routing.Sets[topology.PortID(pol.Ingress)]
+		g := e.graphs[pi]
+		permitSwitches := make(map[int]map[topology.SwitchID]bool)
+		for _, w := range g.Drops() {
+			candidates := e.relevantSwitches(pol.Rules[w], ps)
+			for sw := range e.monitorForbidden(pol.Rules[w], ps) {
+				delete(candidates, sw)
+			}
+			sws := sortedSwitches(candidates)
+			for _, sw := range sws {
+				e.addVar(evar{kind: varRule, pol: pi, rule: w, sw: sw})
+			}
+			for _, u := range g.Dependents(w) {
+				m, ok := permitSwitches[u]
+				if !ok {
+					m = make(map[topology.SwitchID]bool)
+					permitSwitches[u] = m
+				}
+				for _, sw := range sws {
+					m[sw] = true
+				}
+			}
+		}
+		permits := make([]int, 0, len(permitSwitches))
+		for u := range permitSwitches {
+			permits = append(permits, u)
+		}
+		sort.Ints(permits)
+		for _, u := range permits {
+			for _, sw := range sortedSwitches(permitSwitches[u]) {
+				e.addVar(evar{kind: varRule, pol: pi, rule: u, sw: sw})
+			}
+		}
+	}
+
+	// Stage 4: rule dependency constraints (Eq. 1).
+	for pi, g := range e.graphs {
+		for _, w := range g.Drops() {
+			for _, u := range g.Dependents(w) {
+				for _, sw := range e.switchesOf(pi, w) {
+					vw := e.index[evar{kind: varRule, pol: pi, rule: w, sw: sw}]
+					vu, ok := e.index[evar{kind: varRule, pol: pi, rule: u, sw: sw}]
+					if !ok {
+						return nil, fmt.Errorf("core: missing permit variable p%d/r%d at switch %d", pi, u, sw)
+					}
+					e.imps = append(e.imps, [2]int{vw, vu})
+				}
+			}
+		}
+	}
+
+	// Stage 5: path dependency constraints (Eq. 2, per path as the
+	// paper's prose requires; Eq. 2's union form is a typo).
+	for pi, g := range e.graphs {
+		pol := e.policies[pi]
+		ps := prob.Routing.Sets[topology.PortID(pol.Ingress)]
+		for _, w := range g.Drops() {
+			for _, path := range ps.Paths {
+				if !e.pathRelevant(pol.Rules[w], path) {
+					continue
+				}
+				var cover []int
+				for _, sw := range path.Switches {
+					if id, ok := e.index[evar{kind: varRule, pol: pi, rule: w, sw: sw}]; ok {
+						cover = append(cover, id)
+					}
+				}
+				if len(cover) == 0 {
+					if len(opts.Monitors) > 0 {
+						e.infeasibleReason = fmt.Sprintf("drop rule p%d/r%d has no monitor-compatible switch on path %v", pi, w, path)
+						return e, nil
+					}
+					return nil, fmt.Errorf("core: drop rule p%d/r%d has no candidate switch on path %v", pi, w, path)
+				}
+				e.covers = append(e.covers, cover)
+			}
+		}
+	}
+
+	// Stage 6 (optional): merge groups over placed rules (§IV-B).
+	if opts.Merging {
+		if err := e.buildMerging(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 7: capacity rows (Eq. 3).
+	e.buildCapacities()
+
+	// Traffic weights for ObjTraffic: rule variables first, then the
+	// merged adjustments (which reference the rule weights).
+	e.trafficWeight = make([]int64, len(e.vars))
+	for id, v := range e.vars {
+		if v.kind != varRule {
+			continue
+		}
+		ps := prob.Routing.Sets[topology.PortID(e.policies[v.pol].Ingress)]
+		loc := ps.MinLoc(v.sw)
+		if loc < 0 {
+			loc = 0
+		}
+		e.trafficWeight[id] = int64(loc + 1)
+	}
+	for _, mc := range e.merges {
+		// A merged installation replaces its members' costs with a
+		// single conservative (maximum) cost; encoded as the negative
+		// of the members' summed weights plus the max.
+		var sum, maxW int64
+		for _, m := range mc.members {
+			w := e.trafficWeight[m]
+			sum += w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		e.trafficWeight[mc.mv] = maxW - sum
+	}
+	return e, nil
+}
+
+// addVar interns a variable, returning its id.
+func (e *encoding) addVar(v evar) int {
+	if id, ok := e.index[v]; ok {
+		return id
+	}
+	id := len(e.vars)
+	e.vars = append(e.vars, v)
+	e.index[v] = id
+	if v.kind == varRule {
+		key := [2]int{v.pol, v.rule}
+		e.byRule[key] = append(e.byRule[key], id)
+	}
+	return id
+}
+
+// switchesOf lists the switches where rule ri of policy pi has variables.
+func (e *encoding) switchesOf(pi, ri int) []topology.SwitchID {
+	ids := e.byRule[[2]int{pi, ri}]
+	out := make([]topology.SwitchID, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, e.vars[id].sw)
+	}
+	return out
+}
+
+// monitorForbidden returns the switches where the DROP rule r may not
+// be installed: positions strictly upstream of a monitor (whose match
+// overlaps r) on any relevant path that reaches the monitoring switch.
+// Dropping r there would hide monitored packets from the monitor (§VII).
+func (e *encoding) monitorForbidden(r policy.Rule, ps *routing.PathSet) map[topology.SwitchID]bool {
+	out := make(map[topology.SwitchID]bool)
+	for _, mon := range e.opts.Monitors {
+		if !mon.Match.Overlaps(r.Match) {
+			continue
+		}
+		for _, path := range ps.Paths {
+			if !e.pathRelevant(r, path) {
+				continue
+			}
+			mpos := path.Loc(mon.Switch)
+			if mpos < 0 {
+				continue
+			}
+			for _, sw := range path.Switches[:mpos] {
+				out[sw] = true
+			}
+		}
+	}
+	return out
+}
+
+// pathRelevant reports whether a rule applies to a path's traffic slice.
+func (e *encoding) pathRelevant(r policy.Rule, path routing.Path) bool {
+	if !e.opts.PathSlicing || !path.HasTraffic {
+		return true
+	}
+	return r.Match.Overlaps(path.Traffic)
+}
+
+// relevantSwitches returns the union of switches over the rule's
+// relevant paths.
+func (e *encoding) relevantSwitches(r policy.Rule, ps *routing.PathSet) map[topology.SwitchID]bool {
+	out := make(map[topology.SwitchID]bool)
+	for _, path := range ps.Paths {
+		if !e.pathRelevant(r, path) {
+			continue
+		}
+		for _, sw := range path.Switches {
+			out[sw] = true
+		}
+	}
+	return out
+}
+
+// buildMerging detects mergeable rules among placed rules, breaks
+// circular dependencies, and creates merged variables and constraints.
+func (e *encoding) buildMerging() error {
+	// Only rules that have variables can merge: restrict the group
+	// search to placed rules by masking others out.
+	placedMask := make([]map[int]bool, len(e.policies))
+	for _, v := range e.vars {
+		if v.kind != varRule {
+			continue
+		}
+		if placedMask[v.pol] == nil {
+			placedMask[v.pol] = make(map[int]bool)
+		}
+		placedMask[v.pol][v.rule] = true
+	}
+	raw := deps.FindMergeable(e.policies, 2)
+	var filtered []deps.MergeGroup
+	for _, g := range raw {
+		var members []deps.RuleRef
+		for _, m := range g.Members {
+			if placedMask[m.Policy] != nil && placedMask[m.Policy][m.Rule] {
+				members = append(members, m)
+			}
+		}
+		if len(members) >= 2 {
+			filtered = append(filtered, deps.MergeGroup{Members: members, Action: g.Action, MatchKey: g.MatchKey})
+		}
+	}
+	groups, dummies := deps.BreakCycles(e.policies, filtered)
+	e.groups = groups
+	e.dummies = dummies
+
+	for gi, g := range groups {
+		// For each switch where >= 2 members have variables, a merged
+		// variable v^m with mv = AND(member vars).
+		bySwitch := make(map[topology.SwitchID][]int)
+		for _, m := range g.Members {
+			for _, id := range e.byRule[[2]int{m.Policy, m.Rule}] {
+				bySwitch[e.vars[id].sw] = append(bySwitch[e.vars[id].sw], id)
+			}
+		}
+		for _, sw := range sortedSwitchKeys(bySwitch) {
+			members := bySwitch[sw]
+			if len(members) < 2 {
+				continue
+			}
+			mv := e.addVar(evar{kind: varMerged, group: gi, sw: sw})
+			e.merges = append(e.merges, mergeCons{mv: mv, members: members})
+		}
+	}
+	return nil
+}
+
+// buildCapacities assembles one capacity row per switch that hosts any
+// variable.
+func (e *encoding) buildCapacities() {
+	ruleVarsAt := make(map[topology.SwitchID][]int)
+	mergedAt := make(map[topology.SwitchID][]mergeTerm)
+	for id, v := range e.vars {
+		if v.kind == varRule {
+			ruleVarsAt[v.sw] = append(ruleVarsAt[v.sw], id)
+		}
+	}
+	for _, mc := range e.merges {
+		sw := e.vars[mc.mv].sw
+		mergedAt[sw] = append(mergedAt[sw], mergeTerm{mv: mc.mv, savings: len(mc.members) - 1})
+	}
+	for _, sw := range e.prob.Network.Switches() {
+		rv := ruleVarsAt[sw.ID]
+		mt := mergedAt[sw.ID]
+		if len(rv) == 0 && len(mt) == 0 {
+			continue
+		}
+		e.capRows = append(e.capRows, capRow{sw: sw.ID, ruleVars: rv, merged: mt, cap: sw.Capacity})
+	}
+}
+
+// objectiveWeights returns the per-variable objective coefficients for
+// the configured objective. Rule variables get positive weights; merged
+// variables get the negative savings adjustment.
+func (e *encoding) objectiveWeights() []int64 {
+	w := make([]int64, len(e.vars))
+	switch e.opts.Objective {
+	case ObjTraffic:
+		copy(w, e.trafficWeight)
+	case ObjWeightedSwitches:
+		cost := func(sw topology.SwitchID) int64 {
+			if c, ok := e.opts.SwitchCost[sw]; ok {
+				return c
+			}
+			return 1
+		}
+		for id, v := range e.vars {
+			if v.kind == varRule {
+				w[id] = cost(v.sw)
+			}
+		}
+		for _, mc := range e.merges {
+			v := e.vars[mc.mv]
+			w[mc.mv] = -int64(len(mc.members)-1) * cost(v.sw)
+		}
+	default: // ObjTotalRules (also the ObjMinMaxLoad tiebreak)
+		for id, v := range e.vars {
+			if v.kind == varRule {
+				w[id] = 1
+			}
+		}
+		for _, mc := range e.merges {
+			w[mc.mv] = -int64(len(mc.members) - 1)
+		}
+	}
+	return w
+}
+
+// numConstraints is the IR constraint count (for stats).
+func (e *encoding) numConstraints() int {
+	return len(e.imps) + len(e.covers) + len(e.capRows) + 2*len(e.merges)
+}
+
+// sortedSwitches returns a set's members in ascending ID order, keeping
+// variable creation (and hence both backends' search) deterministic.
+func sortedSwitches(set map[topology.SwitchID]bool) []topology.SwitchID {
+	out := make([]topology.SwitchID, 0, len(set))
+	for sw := range set {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// sortedSwitchKeys sorts the keys of a per-switch member map.
+func sortedSwitchKeys(m map[topology.SwitchID][]int) []topology.SwitchID {
+	out := make([]topology.SwitchID, 0, len(m))
+	for sw := range m {
+		out = append(out, sw)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

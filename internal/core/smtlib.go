@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteSMTLIB renders the placement problem's satisfiability encoding
+// (Eqs. 6–8 plus the capacity constraints of Eq. 3) as an SMT-LIB 2
+// script in QF_LIA, suitable for Z3, cvc5, or any SMT-LIB solver — the
+// paper's §IV-D names SMT solvers as one target for this formulation.
+//
+// Variables are Booleans named v<i> (one per placement decision; a
+// trailing comment documents the rule/switch each stands for). Capacity
+// sums use (ite v 1 0) terms, the standard Boolean-cardinality encoding
+// in linear arithmetic. When optimize is true a (minimize ...) objective
+// for the configured criterion is emitted (a Z3/OptiMathSAT extension;
+// plain SMT-LIB solvers can ignore it and check satisfiability only).
+func WriteSMTLIB(w io.Writer, prob *Problem, opts Options, optimize bool) error {
+	opts = opts.withDefaults()
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+	enc, err := buildEncoding(prob, opts)
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("; rule placement satisfiability encoding (DSN'14 Eqs. 3, 6-8)\n")
+	sb.WriteString("(set-logic QF_LIA)\n")
+	if enc.infeasibleReason != "" {
+		fmt.Fprintf(&sb, "; encoding-level infeasibility: %s\n(assert false)\n(check-sat)\n", enc.infeasibleReason)
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+
+	for id, v := range enc.vars {
+		switch v.kind {
+		case varRule:
+			pol := enc.policies[v.pol]
+			fmt.Fprintf(&sb, "(declare-const v%d Bool) ; ingress %d rule %d @ switch %d\n",
+				id, pol.Ingress, v.rule, v.sw)
+		case varMerged:
+			fmt.Fprintf(&sb, "(declare-const v%d Bool) ; merge group %d @ switch %d\n",
+				id, v.group, v.sw)
+		}
+	}
+
+	// Eq. 6: implications.
+	for _, imp := range enc.imps {
+		fmt.Fprintf(&sb, "(assert (=> v%d v%d))\n", imp[0], imp[1])
+	}
+	// Eq. 7: per-path coverage.
+	for _, cover := range enc.covers {
+		sb.WriteString("(assert (or")
+		for _, v := range cover {
+			fmt.Fprintf(&sb, " v%d", v)
+		}
+		sb.WriteString("))\n")
+	}
+	// Eq. 8: merged rule equivalence.
+	for _, mc := range enc.merges {
+		fmt.Fprintf(&sb, "(assert (= v%d (and", mc.mv)
+		for _, v := range mc.members {
+			fmt.Fprintf(&sb, " v%d", v)
+		}
+		sb.WriteString(")))\n")
+	}
+	// Eq. 3: capacities (merged installations refund members-1 slots).
+	for _, row := range enc.capRows {
+		sb.WriteString("(assert (<= (+ 0")
+		for _, v := range row.ruleVars {
+			fmt.Fprintf(&sb, " (ite v%d 1 0)", v)
+		}
+		for _, mt := range row.merged {
+			fmt.Fprintf(&sb, " (ite v%d (- %d) 0)", mt.mv, mt.savings)
+		}
+		fmt.Fprintf(&sb, ") %d))\n", row.cap)
+	}
+
+	if optimize {
+		weights := enc.objectiveWeights()
+		sb.WriteString("(minimize (+ 0")
+		for id, wt := range weights {
+			if wt == 0 {
+				continue
+			}
+			if wt < 0 {
+				fmt.Fprintf(&sb, " (ite v%d (- %d) 0)", id, -wt)
+			} else {
+				fmt.Fprintf(&sb, " (ite v%d %d 0)", id, wt)
+			}
+		}
+		sb.WriteString("))\n")
+	}
+	sb.WriteString("(check-sat)\n(get-model)\n")
+	_, err = io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,207 @@
+// Package dataplane simulates the switch data plane: per-switch
+// prioritized TCAM tables whose entries carry ingress tags (§IV-A5), and
+// the first-match packet walk along a routed path. The placement
+// verifier and the examples drive this simulator to observe deployed
+// policy behaviour end to end.
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+	"rulefit/internal/topology"
+)
+
+// Entry is one installed TCAM rule. Tags identifies the ingress policies
+// the entry applies to: a packet is matched against an entry only when
+// its ingress tag is in the set (the paper's VLAN-tag mechanism; merged
+// rules carry several tags).
+type Entry struct {
+	Tags     map[topology.PortID]bool
+	Match    match.Ternary
+	Action   policy.Action
+	Priority int
+	// Merged marks entries that represent a merged rule shared by
+	// multiple ingress policies.
+	Merged bool
+}
+
+// HasTag reports whether the entry applies to packets from an ingress.
+func (e Entry) HasTag(in topology.PortID) bool { return e.Tags[in] }
+
+// Table is one switch's prioritized rule table.
+type Table struct {
+	Switch  topology.SwitchID
+	Entries []Entry // kept sorted by decreasing priority
+}
+
+// Add inserts an entry, keeping priority order.
+func (t *Table) Add(e Entry) {
+	t.Entries = append(t.Entries, e)
+	sort.SliceStable(t.Entries, func(a, b int) bool {
+		return t.Entries[a].Priority > t.Entries[b].Priority
+	})
+}
+
+// Size returns the number of TCAM slots consumed (merged entries cost
+// one slot, which is the point of merging).
+func (t *Table) Size() int { return len(t.Entries) }
+
+// Lookup returns the action of the highest-priority entry matching the
+// header under the given ingress tag, or (0, false) when nothing matches.
+func (t *Table) Lookup(in topology.PortID, header []uint64) (policy.Action, bool) {
+	for _, e := range t.Entries {
+		if e.HasTag(in) && e.Match.MatchesWords(header) {
+			return e.Action, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "switch %d (%d entries):\n", t.Switch, len(t.Entries))
+	for _, e := range t.Entries {
+		tags := make([]int, 0, len(e.Tags))
+		for tag := range e.Tags {
+			tags = append(tags, int(tag))
+		}
+		sort.Ints(tags)
+		merged := ""
+		if e.Merged {
+			merged = " [merged]"
+		}
+		fmt.Fprintf(&sb, "  [t=%d tags=%v]%s %s -> %s\n", e.Priority, tags, merged, e.Match, e.Action)
+	}
+	return sb.String()
+}
+
+// Network is the deployed data plane: one table per switch.
+type Network struct {
+	Tables map[topology.SwitchID]*Table
+}
+
+// NewNetwork returns an empty data plane.
+func NewNetwork() *Network {
+	return &Network{Tables: make(map[topology.SwitchID]*Table)}
+}
+
+// Table returns (creating if needed) the table of a switch.
+func (n *Network) Table(s topology.SwitchID) *Table {
+	t, ok := n.Tables[s]
+	if !ok {
+		t = &Table{Switch: s}
+		n.Tables[s] = t
+	}
+	return t
+}
+
+// Verdict is the outcome of walking a packet along a path.
+type Verdict struct {
+	// Dropped reports whether some switch dropped the packet.
+	Dropped bool
+	// DroppedAt is the switch that dropped it (valid when Dropped).
+	DroppedAt topology.SwitchID
+	// Hops is the number of switches traversed (including the one that
+	// dropped the packet, if any).
+	Hops int
+}
+
+// Walk sends a header from ingress in along the ordered switch list,
+// applying each switch's table in turn. A PERMIT (or no match) lets the
+// packet continue; a DROP ends the walk.
+func (n *Network) Walk(in topology.PortID, path []topology.SwitchID, header []uint64) Verdict {
+	for i, sw := range path {
+		t, ok := n.Tables[sw]
+		if !ok {
+			continue
+		}
+		action, matched := t.Lookup(in, header)
+		if matched && action == policy.Drop {
+			return Verdict{Dropped: true, DroppedAt: sw, Hops: i + 1}
+		}
+	}
+	return Verdict{Hops: len(path)}
+}
+
+// TotalEntries sums TCAM slots used across all switches.
+func (n *Network) TotalEntries() int {
+	total := 0
+	for _, t := range n.Tables {
+		total += t.Size()
+	}
+	return total
+}
+
+// CapacityViolations returns the switches whose table exceeds the
+// capacity recorded in the topology.
+func (n *Network) CapacityViolations(topo *topology.Network) []topology.SwitchID {
+	var out []topology.SwitchID
+	for id, t := range n.Tables {
+		if sw, ok := topo.Switch(id); ok && t.Size() > sw.Capacity {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Merge appends another deployment's entries to this one. Entries from
+// different ingress policies occupy disjoint tag spaces, so relative
+// order across the two sources is immaterial; within each source the
+// original order is preserved by stacking the other network's entries
+// below the existing ones.
+func (n *Network) Merge(o *Network) {
+	for id, ot := range o.Tables {
+		t := n.Table(id)
+		// Re-prioritize: existing entries keep the high band.
+		offset := 0
+		for _, e := range ot.Entries {
+			if e.Priority > offset {
+				offset = e.Priority
+			}
+		}
+		for i := range t.Entries {
+			t.Entries[i].Priority += offset
+		}
+		t.Entries = append(t.Entries, ot.Entries...)
+		sortEntries(t)
+	}
+}
+
+// RemoveTag removes an ingress policy's entries everywhere: plain
+// entries disappear; merged entries lose the tag and disappear when no
+// tags remain.
+func (n *Network) RemoveTag(in topology.PortID) {
+	for _, t := range n.Tables {
+		w := 0
+		for _, e := range t.Entries {
+			if e.Tags[in] {
+				if len(e.Tags) == 1 {
+					continue
+				}
+				tags := make(map[topology.PortID]bool, len(e.Tags)-1)
+				for tag := range e.Tags {
+					if tag != in {
+						tags[tag] = true
+					}
+				}
+				e.Tags = tags
+			}
+			t.Entries[w] = e
+			w++
+		}
+		t.Entries = t.Entries[:w]
+	}
+}
+
+// sortEntries restores decreasing-priority order.
+func sortEntries(t *Table) {
+	sort.SliceStable(t.Entries, func(a, b int) bool {
+		return t.Entries[a].Priority > t.Entries[b].Priority
+	})
+}

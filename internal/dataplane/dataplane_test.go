@@ -1,0 +1,178 @@
+package dataplane
+
+import (
+	"testing"
+
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+	"rulefit/internal/topology"
+)
+
+func entry(tags []topology.PortID, pattern string, a policy.Action, prio int) Entry {
+	ts := make(map[topology.PortID]bool, len(tags))
+	for _, t := range tags {
+		ts[t] = true
+	}
+	return Entry{Tags: ts, Match: match.MustParseTernary(pattern), Action: a, Priority: prio}
+}
+
+func TestTableAddKeepsOrder(t *testing.T) {
+	tb := &Table{Switch: 1}
+	tb.Add(entry([]topology.PortID{1}, "0*", policy.Permit, 1))
+	tb.Add(entry([]topology.PortID{1}, "1*", policy.Drop, 3))
+	tb.Add(entry([]topology.PortID{1}, "**", policy.Permit, 2))
+	if tb.Entries[0].Priority != 3 || tb.Entries[1].Priority != 2 || tb.Entries[2].Priority != 1 {
+		t.Errorf("entries out of order: %v", tb.Entries)
+	}
+	if tb.Size() != 3 {
+		t.Errorf("Size = %d", tb.Size())
+	}
+}
+
+func TestLookupFirstMatch(t *testing.T) {
+	tb := &Table{Switch: 1}
+	tb.Add(entry([]topology.PortID{1}, "11", policy.Permit, 2))
+	tb.Add(entry([]topology.PortID{1}, "1*", policy.Drop, 1))
+	if a, ok := tb.Lookup(1, []uint64{0b11}); !ok || a != policy.Permit {
+		t.Errorf("Lookup(11) = %v, %v", a, ok)
+	}
+	if a, ok := tb.Lookup(1, []uint64{0b10}); !ok || a != policy.Drop {
+		t.Errorf("Lookup(10) = %v, %v", a, ok)
+	}
+	if _, ok := tb.Lookup(1, []uint64{0b01}); ok {
+		t.Error("Lookup(01) should not match")
+	}
+}
+
+func TestLookupRespectsTags(t *testing.T) {
+	tb := &Table{Switch: 1}
+	tb.Add(entry([]topology.PortID{2}, "1*", policy.Drop, 1))
+	if _, ok := tb.Lookup(1, []uint64{0b10}); ok {
+		t.Error("entry tagged for ingress 2 must not match ingress 1 traffic")
+	}
+	if a, ok := tb.Lookup(2, []uint64{0b10}); !ok || a != policy.Drop {
+		t.Errorf("Lookup with right tag = %v, %v", a, ok)
+	}
+}
+
+func TestMergedEntryServesMultipleIngresses(t *testing.T) {
+	tb := &Table{Switch: 1}
+	e := entry([]topology.PortID{1, 2, 3}, "1*", policy.Drop, 1)
+	e.Merged = true
+	tb.Add(e)
+	for _, in := range []topology.PortID{1, 2, 3} {
+		if a, ok := tb.Lookup(in, []uint64{0b11}); !ok || a != policy.Drop {
+			t.Errorf("ingress %d: %v %v", in, a, ok)
+		}
+	}
+	if tb.Size() != 1 {
+		t.Errorf("merged entry must cost one slot, Size = %d", tb.Size())
+	}
+}
+
+func TestWalkDropsAtFirstMatchingSwitch(t *testing.T) {
+	n := NewNetwork()
+	n.Table(2).Add(entry([]topology.PortID{1}, "10", policy.Drop, 1))
+	n.Table(3).Add(entry([]topology.PortID{1}, "1*", policy.Drop, 1))
+	v := n.Walk(1, []topology.SwitchID{1, 2, 3}, []uint64{0b10})
+	if !v.Dropped || v.DroppedAt != 2 || v.Hops != 2 {
+		t.Errorf("verdict = %+v, want drop at switch 2 after 2 hops", v)
+	}
+	v = n.Walk(1, []topology.SwitchID{1, 2, 3}, []uint64{0b11})
+	if !v.Dropped || v.DroppedAt != 3 {
+		t.Errorf("verdict = %+v, want drop at switch 3", v)
+	}
+	v = n.Walk(1, []topology.SwitchID{1, 2, 3}, []uint64{0b01})
+	if v.Dropped || v.Hops != 3 {
+		t.Errorf("verdict = %+v, want pass through", v)
+	}
+}
+
+func TestWalkPermitOverridesDownstreamDropAtSameSwitch(t *testing.T) {
+	// A higher-priority PERMIT at the same switch shields the DROP there,
+	// but the packet continues and can be dropped later.
+	n := NewNetwork()
+	n.Table(1).Add(entry([]topology.PortID{1}, "11", policy.Permit, 2))
+	n.Table(1).Add(entry([]topology.PortID{1}, "1*", policy.Drop, 1))
+	v := n.Walk(1, []topology.SwitchID{1}, []uint64{0b11})
+	if v.Dropped {
+		t.Error("permit should shield the drop at switch 1")
+	}
+}
+
+func TestTotalEntriesAndViolations(t *testing.T) {
+	topo, err := topology.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNetwork()
+	n.Table(0).Add(entry([]topology.PortID{1}, "1*", policy.Drop, 1))
+	n.Table(0).Add(entry([]topology.PortID{1}, "0*", policy.Drop, 2))
+	n.Table(1).Add(entry([]topology.PortID{1}, "1*", policy.Drop, 1))
+	if n.TotalEntries() != 3 {
+		t.Errorf("TotalEntries = %d", n.TotalEntries())
+	}
+	viol := n.CapacityViolations(topo)
+	if len(viol) != 1 || viol[0] != 0 {
+		t.Errorf("violations = %v, want [0]", viol)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{Switch: 7}
+	e := entry([]topology.PortID{1}, "1*", policy.Drop, 1)
+	e.Merged = true
+	tb.Add(e)
+	if tb.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMergeStacksDisjointTagSpaces(t *testing.T) {
+	a := NewNetwork()
+	a.Table(1).Add(entry([]topology.PortID{1}, "11", policy.Permit, 2))
+	a.Table(1).Add(entry([]topology.PortID{1}, "1*", policy.Drop, 1))
+	b := NewNetwork()
+	b.Table(1).Add(entry([]topology.PortID{2}, "0*", policy.Drop, 5))
+	b.Table(2).Add(entry([]topology.PortID{2}, "**", policy.Drop, 1))
+
+	a.Merge(b)
+	if a.Table(1).Size() != 3 || a.Table(2).Size() != 1 {
+		t.Fatalf("sizes after merge: %d, %d", a.Table(1).Size(), a.Table(2).Size())
+	}
+	// Ingress 1 semantics preserved: permit shields drop.
+	if act, ok := a.Table(1).Lookup(1, []uint64{0b11}); !ok || act != policy.Permit {
+		t.Errorf("ingress 1 lookup(11) = %v, %v", act, ok)
+	}
+	// Ingress 2 entries reachable.
+	if act, ok := a.Table(1).Lookup(2, []uint64{0b01}); !ok || act != policy.Drop {
+		t.Errorf("ingress 2 lookup(01) = %v, %v", act, ok)
+	}
+	// Priorities still strictly ordered per table.
+	for i := 1; i < len(a.Table(1).Entries); i++ {
+		if a.Table(1).Entries[i-1].Priority < a.Table(1).Entries[i].Priority {
+			t.Error("entries out of order after merge")
+		}
+	}
+}
+
+func TestRemoveTag(t *testing.T) {
+	n := NewNetwork()
+	n.Table(1).Add(entry([]topology.PortID{1}, "1*", policy.Drop, 2))
+	shared := entry([]topology.PortID{1, 2}, "0*", policy.Drop, 1)
+	shared.Merged = true
+	n.Table(1).Add(shared)
+	n.RemoveTag(1)
+	tb := n.Table(1)
+	if tb.Size() != 1 {
+		t.Fatalf("size after RemoveTag = %d, want 1 (plain entry gone)", tb.Size())
+	}
+	if tb.Entries[0].Tags[1] || !tb.Entries[0].Tags[2] {
+		t.Errorf("merged entry tags wrong: %v", tb.Entries[0].Tags)
+	}
+	// Removing the last tag removes the entry.
+	n.RemoveTag(2)
+	if n.Table(1).Size() != 0 {
+		t.Errorf("entry with no tags should vanish, size=%d", n.Table(1).Size())
+	}
+}

@@ -1,0 +1,310 @@
+// Package deps implements the paper's rule dependency analysis (§IV-A1):
+// the dependency graph tying each DROP rule to the higher-priority
+// overlapping PERMIT rules that must accompany it on a switch, the
+// detection of mergeable rules across ingress policies (§IV-B), and the
+// breaking of circular merge dependencies via the paper's dummy-rule
+// technique (Fig. 5).
+package deps
+
+import (
+	"fmt"
+	"sort"
+
+	"rulefit/internal/policy"
+)
+
+// Graph is the per-policy rule dependency graph. Node w (a DROP rule
+// index) depends on node u (a PERMIT rule index) when u has higher
+// priority and an overlapping match: placing w on a switch requires
+// placing u there too (Eq. 1).
+type Graph struct {
+	// permits[w] lists, for DROP rule index w, the PERMIT rule indices
+	// that must be co-located with it, in priority order.
+	permits map[int][]int
+	// drops lists the DROP rule indices in priority order.
+	drops []int
+}
+
+// BuildGraph computes the dependency graph of a policy. Rule indices are
+// positions in p.Rules (decreasing priority order, so u < w implies u has
+// higher priority).
+func BuildGraph(p *policy.Policy) *Graph {
+	g := &Graph{permits: make(map[int][]int)}
+	for w, rw := range p.Rules {
+		if rw.Action != policy.Drop {
+			continue
+		}
+		g.drops = append(g.drops, w)
+		var us []int
+		for u := 0; u < w; u++ {
+			ru := p.Rules[u]
+			if ru.Action == policy.Permit && ru.Match.Overlaps(rw.Match) {
+				us = append(us, u)
+			}
+		}
+		g.permits[w] = us
+	}
+	return g
+}
+
+// Drops returns the DROP rule indices in priority order.
+func (g *Graph) Drops() []int { return g.drops }
+
+// Dependents returns the PERMIT rule indices that must accompany DROP
+// rule w. The slice must not be modified.
+func (g *Graph) Dependents(w int) []int { return g.permits[w] }
+
+// NumEdges returns the total number of dependency edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, us := range g.permits {
+		n += len(us)
+	}
+	return n
+}
+
+// PlacedRules returns the sorted set of rule indices that participate in
+// placement at all: every DROP rule plus every PERMIT rule some DROP rule
+// depends on. PERMIT rules outside this set never need to be installed —
+// the network's default already permits their traffic.
+func (g *Graph) PlacedRules() []int {
+	seen := make(map[int]bool)
+	for _, w := range g.drops {
+		seen[w] = true
+		for _, u := range g.permits[w] {
+			seen[u] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RuleRef addresses one rule inside a slice of policies.
+type RuleRef struct {
+	// Policy is the index into the policies slice (not the ingress ID).
+	Policy int
+	// Rule is the index into Policies[Policy].Rules.
+	Rule int
+}
+
+// String renders the reference.
+func (r RuleRef) String() string { return fmt.Sprintf("p%d/r%d", r.Policy, r.Rule) }
+
+// MergeGroup is a set of identical rules (same match, same action) drawn
+// from distinct policies that may be installed as a single shared rule
+// whose tag field is the union of the member policies (§IV-B).
+type MergeGroup struct {
+	// Members holds at most one rule per policy, sorted by policy index.
+	Members []RuleRef
+	Action  policy.Action
+	// MatchKey is the canonical key of the shared match.
+	MatchKey string
+}
+
+// FindMergeable groups identical rules across policies. Only groups with
+// at least minPolicies members are returned (use 2 for any sharing).
+// Within one policy, only the highest-priority copy of an identical rule
+// joins a group. Groups are returned in a deterministic order.
+func FindMergeable(policies []*policy.Policy, minPolicies int) []MergeGroup {
+	if minPolicies < 2 {
+		minPolicies = 2
+	}
+	type key struct {
+		match  string
+		action policy.Action
+	}
+	groups := make(map[key]*MergeGroup)
+	var order []key
+	for pi, p := range policies {
+		seenInPolicy := make(map[key]bool)
+		for ri, r := range p.Rules {
+			k := key{match: r.Match.Key(), action: r.Action}
+			if seenInPolicy[k] {
+				continue
+			}
+			seenInPolicy[k] = true
+			g, ok := groups[k]
+			if !ok {
+				g = &MergeGroup{Action: r.Action, MatchKey: k.match}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.Members = append(g.Members, RuleRef{Policy: pi, Rule: ri})
+		}
+	}
+	var out []MergeGroup
+	for _, k := range order {
+		g := groups[k]
+		if len(g.Members) >= minPolicies {
+			out = append(out, *g)
+		}
+	}
+	return out
+}
+
+// DummyRule records the paper's circular-dependency fix: the member rule
+// Excluded is withdrawn from its merge group, and a shadowed dummy copy
+// (same match/action, priority just below Below's member in that policy)
+// conceptually joins the group instead. Because the dummy is fully
+// dominated by the original rule it never matches, so policy semantics
+// are unchanged; the practical effect on placement is that the excluded
+// policy installs its copy separately.
+type DummyRule struct {
+	Excluded RuleRef
+	// Group is the index (into the returned groups) the member left.
+	Group int
+}
+
+// BreakCycles removes merge-group members until the cross-policy
+// precedence relation over merged rules is acyclic, mirroring Fig. 5.
+//
+// An edge A -> B exists when some policy contains members of both groups
+// whose matches overlap with differing actions and A's member has the
+// higher priority: a shared table must then order A's merged rule above
+// B's. A cycle means no single order satisfies all member policies.
+// Groups that end up with fewer than two members are dropped.
+func BreakCycles(policies []*policy.Policy, groups []MergeGroup) ([]MergeGroup, []DummyRule) {
+	gs := make([]MergeGroup, len(groups))
+	for i, g := range groups {
+		gs[i] = MergeGroup{Members: append([]RuleRef(nil), g.Members...), Action: g.Action, MatchKey: g.MatchKey}
+	}
+	var dummies []DummyRule
+	for {
+		edges, witnesses := mergeOrderEdges(policies, gs)
+		cyc := findCycle(len(gs), edges)
+		if cyc == nil {
+			break
+		}
+		// Remove the member of the last edge on the cycle from the lower
+		// priority group in its witness policy, recording the dummy.
+		from, to := cyc[len(cyc)-1], cyc[0]
+		w := witnesses[[2]int{from, to}]
+		gs[to].Members = removeMemberInPolicy(gs[to].Members, w)
+		dummies = append(dummies, DummyRule{Excluded: RuleRef{Policy: w, Rule: memberRule(groups[to], w)}, Group: to})
+	}
+	var out []MergeGroup
+	for _, g := range gs {
+		if len(g.Members) >= 2 {
+			out = append(out, g)
+		}
+	}
+	return out, dummies
+}
+
+// memberRule returns the rule index of group g's member in policy pi, or -1.
+func memberRule(g MergeGroup, pi int) int {
+	for _, m := range g.Members {
+		if m.Policy == pi {
+			return m.Rule
+		}
+	}
+	return -1
+}
+
+func removeMemberInPolicy(members []RuleRef, pi int) []RuleRef {
+	out := members[:0]
+	for _, m := range members {
+		if m.Policy != pi {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// mergeOrderEdges builds the precedence edges between merge groups and,
+// for each edge, a witness policy index that induces it.
+func mergeOrderEdges(policies []*policy.Policy, gs []MergeGroup) (map[int][]int, map[[2]int]int) {
+	edges := make(map[int][]int)
+	witnesses := make(map[[2]int]int)
+	// memberIn[gi][pi] = rule index or absent.
+	memberIn := make([]map[int]int, len(gs))
+	for gi, g := range gs {
+		memberIn[gi] = make(map[int]int, len(g.Members))
+		for _, m := range g.Members {
+			memberIn[gi][m.Policy] = m.Rule
+		}
+	}
+	for a := range gs {
+		for b := range gs {
+			if a == b || gs[a].Action == gs[b].Action {
+				continue
+			}
+			for pi, ra := range memberIn[a] {
+				rb, ok := memberIn[b][pi]
+				if !ok {
+					continue
+				}
+				p := policies[pi]
+				if !p.Rules[ra].Match.Overlaps(p.Rules[rb].Match) {
+					continue
+				}
+				// Lower index = higher priority = must come first.
+				if ra < rb {
+					if _, seen := witnesses[[2]int{a, b}]; !seen {
+						edges[a] = append(edges[a], b)
+						witnesses[[2]int{a, b}] = pi
+					}
+				}
+			}
+		}
+	}
+	return edges, witnesses
+}
+
+// findCycle returns some directed cycle as a node list, or nil.
+func findCycle(n int, edges map[int][]int) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range edges[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Back edge u->v closes a cycle v ... u.
+				cycle = reconstruct(parent, u, v)
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// reconstruct returns the cycle v -> ... -> u (where edge u->v closes it).
+func reconstruct(parent []int, u, v int) []int {
+	var rev []int
+	for x := u; x != -1 && x != v; x = parent[x] {
+		rev = append(rev, x)
+	}
+	rev = append(rev, v)
+	// Reverse to get v ... u.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,282 @@
+package deps
+
+import (
+	"testing"
+
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+)
+
+func mk(pattern string, a policy.Action, prio int) policy.Rule {
+	return policy.Rule{Match: match.MustParseTernary(pattern), Action: a, Priority: prio}
+}
+
+func TestBuildGraphBasic(t *testing.T) {
+	// permit 11** (t4), permit 00** (t3), drop 1*** (t2), drop 0*** (t1)
+	p := policy.MustNew(0, []policy.Rule{
+		mk("11**", policy.Permit, 4),
+		mk("00**", policy.Permit, 3),
+		mk("1***", policy.Drop, 2),
+		mk("0***", policy.Drop, 1),
+	})
+	g := BuildGraph(p)
+	drops := g.Drops()
+	if len(drops) != 2 || drops[0] != 2 || drops[1] != 3 {
+		t.Fatalf("Drops = %v", drops)
+	}
+	// drop 1*** overlaps permit 11** only.
+	if d := g.Dependents(2); len(d) != 1 || d[0] != 0 {
+		t.Errorf("Dependents(2) = %v, want [0]", d)
+	}
+	// drop 0*** overlaps permit 00** only.
+	if d := g.Dependents(3); len(d) != 1 || d[0] != 1 {
+		t.Errorf("Dependents(3) = %v, want [1]", d)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestBuildGraphIgnoresLowerPermits(t *testing.T) {
+	// Permit BELOW the drop creates no dependency.
+	p := policy.MustNew(0, []policy.Rule{
+		mk("1***", policy.Drop, 2),
+		mk("11**", policy.Permit, 1),
+	})
+	g := BuildGraph(p)
+	if d := g.Dependents(0); len(d) != 0 {
+		t.Errorf("Dependents = %v, want empty", d)
+	}
+}
+
+func TestBuildGraphIgnoresDisjoint(t *testing.T) {
+	p := policy.MustNew(0, []policy.Rule{
+		mk("00**", policy.Permit, 2),
+		mk("1***", policy.Drop, 1),
+	})
+	g := BuildGraph(p)
+	if g.NumEdges() != 0 {
+		t.Errorf("disjoint permit should create no edge, got %d", g.NumEdges())
+	}
+}
+
+func TestBuildGraphDropDropNoEdge(t *testing.T) {
+	// Other DROP rules never constrain placement (paper §IV-A1).
+	p := policy.MustNew(0, []policy.Rule{
+		mk("1***", policy.Drop, 2),
+		mk("11**", policy.Drop, 1),
+	})
+	g := BuildGraph(p)
+	if g.NumEdges() != 0 {
+		t.Errorf("drop-drop should create no edges, got %d", g.NumEdges())
+	}
+}
+
+func TestPlacedRules(t *testing.T) {
+	p := policy.MustNew(0, []policy.Rule{
+		mk("11**", policy.Permit, 4), // needed by drop below
+		mk("00**", policy.Permit, 3), // not needed (no overlapping drop below)
+		mk("1***", policy.Drop, 2),
+	})
+	g := BuildGraph(p)
+	placed := g.PlacedRules()
+	if len(placed) != 2 || placed[0] != 0 || placed[1] != 2 {
+		t.Errorf("PlacedRules = %v, want [0 2]", placed)
+	}
+}
+
+func TestFindMergeableBasic(t *testing.T) {
+	shared := mk("1010****", policy.Drop, 0)
+	p0 := policy.MustNew(0, []policy.Rule{
+		{Match: shared.Match, Action: policy.Drop, Priority: 2},
+		mk("0*******", policy.Permit, 1),
+	})
+	p1 := policy.MustNew(1, []policy.Rule{
+		{Match: shared.Match, Action: policy.Drop, Priority: 5},
+	})
+	p2 := policy.MustNew(2, []policy.Rule{
+		mk("1111****", policy.Drop, 1),
+	})
+	groups := FindMergeable([]*policy.Policy{p0, p1, p2}, 2)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(groups))
+	}
+	g := groups[0]
+	if len(g.Members) != 2 || g.Members[0].Policy != 0 || g.Members[1].Policy != 1 {
+		t.Errorf("members = %v", g.Members)
+	}
+	if g.Action != policy.Drop {
+		t.Errorf("action = %v", g.Action)
+	}
+}
+
+func TestFindMergeableRequiresSameAction(t *testing.T) {
+	m := match.MustParseTernary("1010")
+	p0 := policy.MustNew(0, []policy.Rule{{Match: m, Action: policy.Drop, Priority: 1}})
+	p1 := policy.MustNew(1, []policy.Rule{{Match: m, Action: policy.Permit, Priority: 1}})
+	if groups := FindMergeable([]*policy.Policy{p0, p1}, 2); len(groups) != 0 {
+		t.Errorf("differing actions must not merge, got %v", groups)
+	}
+}
+
+func TestFindMergeableOnePerPolicy(t *testing.T) {
+	m := match.MustParseTernary("1010")
+	p0 := policy.MustNew(0, []policy.Rule{
+		{Match: m, Action: policy.Drop, Priority: 2},
+		{Match: m, Action: policy.Drop, Priority: 1}, // duplicate within policy
+	})
+	p1 := policy.MustNew(1, []policy.Rule{{Match: m, Action: policy.Drop, Priority: 9}})
+	groups := FindMergeable([]*policy.Policy{p0, p1}, 2)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if len(groups[0].Members) != 2 {
+		t.Fatalf("members = %v", groups[0].Members)
+	}
+	// Must use the highest-priority copy in policy 0.
+	if groups[0].Members[0] != (RuleRef{Policy: 0, Rule: 0}) {
+		t.Errorf("member = %v, want p0/r0", groups[0].Members[0])
+	}
+}
+
+func TestFindMergeableMinPolicies(t *testing.T) {
+	m := match.MustParseTernary("1010")
+	mkp := func(i int) *policy.Policy {
+		return policy.MustNew(i, []policy.Rule{{Match: m, Action: policy.Drop, Priority: 1}})
+	}
+	ps := []*policy.Policy{mkp(0), mkp(1), mkp(2)}
+	if groups := FindMergeable(ps, 4); len(groups) != 0 {
+		t.Errorf("minPolicies=4 should exclude 3-member group")
+	}
+	if groups := FindMergeable(ps, 3); len(groups) != 1 {
+		t.Errorf("minPolicies=3 should keep 3-member group")
+	}
+}
+
+// fig5Policies reproduces the paper's Fig. 5: permit r1 and drop r2
+// overlap; r1 is above r2 in policies A and B but below it in policy C.
+func fig5Policies() []*policy.Policy {
+	r1 := match.FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 16, DstIP: 0x0B000000, DstPfxLen: 8, ProtoAny: true}.Ternary()
+	r2 := match.FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 8, DstIP: 0x0B000000, DstPfxLen: 16, ProtoAny: true}.Ternary()
+	pA := policy.MustNew(0, []policy.Rule{
+		{Match: r1, Action: policy.Permit, Priority: 2},
+		{Match: r2, Action: policy.Drop, Priority: 1},
+	})
+	pB := policy.MustNew(1, []policy.Rule{
+		{Match: r1, Action: policy.Permit, Priority: 2},
+		{Match: r2, Action: policy.Drop, Priority: 1},
+	})
+	pC := policy.MustNew(2, []policy.Rule{
+		{Match: r2, Action: policy.Drop, Priority: 2},
+		{Match: r1, Action: policy.Permit, Priority: 1},
+	})
+	return []*policy.Policy{pA, pB, pC}
+}
+
+func TestBreakCyclesFig5(t *testing.T) {
+	policies := fig5Policies()
+	groups := FindMergeable(policies, 2)
+	if len(groups) != 2 {
+		t.Fatalf("expected 2 merge groups (r1, r2), got %d", len(groups))
+	}
+	broken, dummies := BreakCycles(policies, groups)
+	if len(dummies) == 0 {
+		t.Fatal("fig-5 circular dependency not detected")
+	}
+	// After breaking, the precedence relation must be acyclic.
+	edges, _ := mergeOrderEdges(policies, broken)
+	if cyc := findCycle(len(broken), edges); cyc != nil {
+		t.Fatalf("cycle remains after BreakCycles: %v", cyc)
+	}
+	// Both groups should survive with >= 2 members (one policy excluded).
+	total := 0
+	for _, g := range broken {
+		if len(g.Members) < 2 {
+			t.Errorf("undersized group survived: %v", g)
+		}
+		total += len(g.Members)
+	}
+	if total != 5 { // 6 members minus the one excluded
+		t.Errorf("total members after break = %d, want 5", total)
+	}
+}
+
+func TestBreakCyclesNoCycle(t *testing.T) {
+	// Consistent order across policies: no cycle, nothing removed.
+	m1 := match.MustParseTernary("10******")
+	m2 := match.MustParseTernary("1*******")
+	mkp := func(i int) *policy.Policy {
+		return policy.MustNew(i, []policy.Rule{
+			{Match: m1, Action: policy.Permit, Priority: 2},
+			{Match: m2, Action: policy.Drop, Priority: 1},
+		})
+	}
+	policies := []*policy.Policy{mkp(0), mkp(1)}
+	groups := FindMergeable(policies, 2)
+	broken, dummies := BreakCycles(policies, groups)
+	if len(dummies) != 0 {
+		t.Errorf("unexpected dummies: %v", dummies)
+	}
+	if len(broken) != len(groups) {
+		t.Errorf("groups shrank from %d to %d", len(groups), len(broken))
+	}
+}
+
+func TestBreakCyclesSameActionNeverCycles(t *testing.T) {
+	// Two drop groups in inconsistent order: order does not matter for
+	// same-action rules, so no cycle should be reported.
+	m1 := match.MustParseTernary("10**")
+	m2 := match.MustParseTernary("1***")
+	pA := policy.MustNew(0, []policy.Rule{
+		{Match: m1, Action: policy.Drop, Priority: 2},
+		{Match: m2, Action: policy.Drop, Priority: 1},
+	})
+	pB := policy.MustNew(1, []policy.Rule{
+		{Match: m2, Action: policy.Drop, Priority: 2},
+		{Match: m1, Action: policy.Drop, Priority: 1},
+	})
+	policies := []*policy.Policy{pA, pB}
+	groups := FindMergeable(policies, 2)
+	_, dummies := BreakCycles(policies, groups)
+	if len(dummies) != 0 {
+		t.Errorf("same-action groups produced dummies: %v", dummies)
+	}
+}
+
+func TestRuleRefString(t *testing.T) {
+	if (RuleRef{Policy: 1, Rule: 2}).String() != "p1/r2" {
+		t.Error("RuleRef.String wrong")
+	}
+}
+
+func TestBreakCyclesThreePolicyRotation(t *testing.T) {
+	// Three overlapping rules, rotated priorities across three policies:
+	// m1>m2 in p0, m2>m3 in p1, m3>m1 in p2 — a 3-cycle among merge
+	// groups once actions alternate.
+	m1 := match.MustParseTernary("1***")
+	m2 := match.MustParseTernary("1*1*")
+	m3 := match.MustParseTernary("11**")
+	mkPol := func(i int, rules []policy.Rule) *policy.Policy { return policy.MustNew(i, rules) }
+	p0 := mkPol(0, []policy.Rule{
+		{Match: m1, Action: policy.Permit, Priority: 3},
+		{Match: m2, Action: policy.Drop, Priority: 2},
+		{Match: m3, Action: policy.Permit, Priority: 1},
+	})
+	p1 := mkPol(1, []policy.Rule{
+		{Match: m2, Action: policy.Drop, Priority: 3},
+		{Match: m3, Action: policy.Permit, Priority: 2},
+		{Match: m1, Action: policy.Permit, Priority: 1},
+	})
+	p2 := mkPol(2, []policy.Rule{
+		{Match: m3, Action: policy.Permit, Priority: 3},
+		{Match: m1, Action: policy.Permit, Priority: 2},
+		{Match: m2, Action: policy.Drop, Priority: 1},
+	})
+	policies := []*policy.Policy{p0, p1, p2}
+	groups := FindMergeable(policies, 2)
+	broken, _ := BreakCycles(policies, groups)
+	edges, _ := mergeOrderEdges(policies, broken)
+	if cyc := findCycle(len(broken), edges); cyc != nil {
+		t.Fatalf("cycle remains: %v", cyc)
+	}
+}

@@ -1,0 +1,121 @@
+package ilp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP renders the model in the CPLEX LP file format, which every
+// mainstream MILP solver reads. It exists so that placement models can
+// be dumped and cross-checked against external solvers (or inspected by
+// hand) when debugging the built-in one.
+func (m *Model) WriteLP(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("Minimize\n obj:")
+	wrote := false
+	for j, v := range m.vars {
+		if v.obj == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, " %s %s", signCoef(v.obj, !wrote), varName(m, j))
+		wrote = true
+	}
+	if !wrote {
+		sb.WriteString(" 0 x0")
+	}
+	sb.WriteString("\nSubject To\n")
+	for ci, c := range m.cons {
+		name := c.Name
+		if name == "" {
+			name = "c"
+		}
+		fmt.Fprintf(&sb, " %s%d:", sanitize(name), ci)
+		first := true
+		for _, t := range c.Terms {
+			fmt.Fprintf(&sb, " %s %s", signCoef(t.Coef, first), varName(m, t.Var))
+			first = false
+		}
+		if first {
+			sb.WriteString(" 0 x0")
+		}
+		fmt.Fprintf(&sb, " %s %g\n", lpOp(c.Op), c.RHS)
+	}
+	sb.WriteString("Bounds\n")
+	for j, v := range m.vars {
+		switch {
+		case math.IsInf(v.lo, -1) && math.IsInf(v.hi, 1):
+			fmt.Fprintf(&sb, " %s free\n", varName(m, j))
+		case math.IsInf(v.hi, 1):
+			fmt.Fprintf(&sb, " %s >= %g\n", varName(m, j), v.lo)
+		case math.IsInf(v.lo, -1):
+			fmt.Fprintf(&sb, " %s <= %g\n", varName(m, j), v.hi)
+		default:
+			fmt.Fprintf(&sb, " %g <= %s <= %g\n", v.lo, varName(m, j), v.hi)
+		}
+	}
+	var generals []int
+	for j, v := range m.vars {
+		if v.integer {
+			generals = append(generals, j)
+		}
+	}
+	if len(generals) > 0 {
+		sb.WriteString("Generals\n")
+		for _, j := range generals {
+			fmt.Fprintf(&sb, " %s\n", varName(m, j))
+		}
+	}
+	sb.WriteString("End\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// varName renders a stable LP-safe variable name.
+func varName(m *Model, j int) string {
+	n := m.vars[j].name
+	if n == "" {
+		return fmt.Sprintf("x%d", j)
+	}
+	return fmt.Sprintf("%s_%d", sanitize(n), j)
+}
+
+// sanitize strips characters the LP format dislikes.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// signCoef renders a coefficient with explicit sign ("+ 2"/"- 1"); the
+// leading term keeps a bare minus only when negative.
+func signCoef(c float64, first bool) string {
+	if c < 0 {
+		return fmt.Sprintf("- %g", -c)
+	}
+	if first {
+		return fmt.Sprintf("%g", c)
+	}
+	return fmt.Sprintf("+ %g", c)
+}
+
+// lpOp renders the constraint operator in LP syntax.
+func lpOp(o Op) string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}

@@ -1,0 +1,79 @@
+package ilp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteLPBasic(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x", 1)
+	y := m.AddVar("y", 0, 5.5, -2)
+	z := m.AddVar("z", 0, Inf, 0)
+	m.AddConstraint([]Term{{x, 1}, {y, -3}}, LE, 4, "cap")
+	m.AddConstraint([]Term{{y, 1}, {z, 1}}, GE, 1, "cover")
+	m.AddConstraint([]Term{{x, 1}}, EQ, 1, "fix")
+
+	var sb strings.Builder
+	if err := m.WriteLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Minimize",
+		"Subject To",
+		"cap0: 1 x_0 - 3 y_1 <= 4",
+		"cover1: 1 y_1 + 1 z_2 >= 1",
+		"fix2: 1 x_0 = 1",
+		"Bounds",
+		"0 <= x_0 <= 1",
+		"0 <= y_1 <= 5.5",
+		"z_2 >= 0",
+		"Generals",
+		"x_0",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPEmptyObjectiveAndFreeVar(t *testing.T) {
+	m := NewModel()
+	m.AddVar("f", -Inf, Inf, 0) // free variable, no objective
+	var sb strings.Builder
+	if err := m.WriteLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "f_0 free") {
+		t.Errorf("free bound missing:\n%s", out)
+	}
+	if !strings.Contains(out, "obj: 0 x0") {
+		t.Errorf("placeholder objective missing:\n%s", out)
+	}
+}
+
+func TestWriteLPSanitizesNames(t *testing.T) {
+	m := NewModel()
+	v := m.AddBinary("v[1,2]", 1)
+	m.AddConstraint([]Term{{v, 1}}, LE, 1, "cap(3)")
+	var sb strings.Builder
+	if err := m.WriteLP(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.ContainsAny(out, "[](),") {
+		t.Errorf("unsanitized characters in:\n%s", out)
+	}
+}
+
+func TestWriteLPInvalidModel(t *testing.T) {
+	m := NewModel()
+	m.AddVar("x", 2, 1, 0)
+	var sb strings.Builder
+	if err := m.WriteLP(&sb); err == nil {
+		t.Error("invalid model should fail")
+	}
+}

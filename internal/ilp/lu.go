@@ -1,0 +1,237 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+)
+
+// Sparse LU factorization of a square basis matrix, in the Gilbert-Peierls
+// left-looking style: columns are factored in order, each by a sparse
+// triangular solve against the L columns computed so far, with partial
+// (threshold) pivoting on rows.
+//
+// The factorization is PB = LU up to the row permutation recorded in
+// pivotRow: column j of the basis pivots on original row pivotRow[j].
+
+// entry is one nonzero of a sparse column.
+type entry struct {
+	row int
+	val float64
+}
+
+// luFactor is a sparse LU factorization supporting Ax=b and A^T y=c solves.
+type luFactor struct {
+	m int
+	// lcols[j] holds L's column j: entries strictly below the unit
+	// diagonal, indexed by original row.
+	lcols [][]entry
+	// ucols[j] holds U's column j: entries (k, val) where k < j is the
+	// factor column index (permuted row), including the diagonal (k==j).
+	ucols [][]entry
+	udiag []float64
+	// pivotRow[j] is the original row chosen as pivot for column j;
+	// rowOfPiv is its inverse (original row -> factor index).
+	pivotRow []int
+	rowOfPiv []int
+}
+
+// errSingular reports a numerically singular basis.
+var errSingular = errors.New("ilp: singular basis matrix")
+
+// luFactorize factors the m x m matrix given column-wise.
+func luFactorize(m int, cols [][]entry) (*luFactor, error) {
+	f := &luFactor{
+		m:        m,
+		lcols:    make([][]entry, m),
+		ucols:    make([][]entry, m),
+		udiag:    make([]float64, m),
+		pivotRow: make([]int, m),
+		rowOfPiv: make([]int, m),
+	}
+	for i := range f.rowOfPiv {
+		f.rowOfPiv[i] = -1
+	}
+	dense := make([]float64, m)   // scatter accumulator, by original row
+	mark := make([]bool, m)       // nonzero pattern flags, by original row
+	stack := make([]int, 0, 64)   // DFS stack of factor indices
+	visited := make([]int32, m)   // DFS visit stamps, by factor index
+	var stamp int32               // current DFS stamp
+	order := make([]int, 0, 64)   // topological order of reached factor cols
+	pattern := make([]int, 0, 64) // nonzero original rows of the column
+
+	for j := 0; j < m; j++ {
+		// Scatter column j.
+		pattern = pattern[:0]
+		order = order[:0]
+		stamp++
+		for _, e := range cols[j] {
+			if mark[e.row] {
+				dense[e.row] += e.val
+				continue
+			}
+			mark[e.row] = true
+			dense[e.row] = e.val
+			pattern = append(pattern, e.row)
+		}
+		// Symbolic: DFS from each nonzero landing on an already-pivoted
+		// row, collecting reached factor columns in reverse-topological
+		// order (appended post-order, applied in reverse below).
+		for _, r := range pattern {
+			k := f.rowOfPiv[r]
+			if k >= 0 && visited[k] != stamp {
+				f.dfsReach(k, visited, stamp, &stack, &order)
+			}
+		}
+		// Numeric: apply reached L columns in topological order.
+		for idx := len(order) - 1; idx >= 0; idx-- {
+			k := order[idx]
+			pr := f.pivotRow[k]
+			xk := dense[pr]
+			if xk == 0 {
+				continue
+			}
+			for _, e := range f.lcols[k] {
+				if !mark[e.row] {
+					mark[e.row] = true
+					dense[e.row] = 0
+					pattern = append(pattern, e.row)
+				}
+				dense[e.row] -= xk * e.val
+			}
+		}
+		// Pivot selection: largest magnitude among unpivoted rows; the
+		// already-pivoted rows become U entries.
+		pivot, pmax := -1, 0.0
+		for _, r := range pattern {
+			if f.rowOfPiv[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(dense[r]); a > pmax {
+				pmax, pivot = a, r
+			}
+		}
+		// Unreached rows may still hold the pivot when the column has
+		// entries only in pivoted rows (then the matrix is singular).
+		if pivot < 0 || pmax < 1e-11 {
+			// Clean up scatter state before failing.
+			for _, r := range pattern {
+				mark[r] = false
+				dense[r] = 0
+			}
+			return nil, errSingular
+		}
+		piv := dense[pivot]
+		f.pivotRow[j] = pivot
+		f.rowOfPiv[pivot] = j
+		f.udiag[j] = piv
+		var ucol, lcol []entry
+		for _, r := range pattern {
+			v := dense[r]
+			mark[r] = false
+			dense[r] = 0
+			if v == 0 || r == pivot {
+				continue
+			}
+			if k := f.rowOfPiv[r]; k >= 0 && k < j {
+				if math.Abs(v) > 1e-13 {
+					ucol = append(ucol, entry{row: k, val: v})
+				}
+			} else if math.Abs(v/piv) > 1e-13 {
+				lcol = append(lcol, entry{row: r, val: v / piv})
+			}
+		}
+		f.ucols[j] = ucol
+		f.lcols[j] = lcol
+	}
+	return f, nil
+}
+
+// dfsReach performs an iterative DFS over the L structure from factor
+// column k, appending finished nodes to order (post-order).
+func (f *luFactor) dfsReach(k int, visited []int32, stamp int32, stack *[]int, order *[]int) {
+	type frame struct {
+		col int
+		pos int
+	}
+	frames := []frame{{col: k}}
+	visited[k] = stamp
+	for len(frames) > 0 {
+		fr := &frames[len(frames)-1]
+		adv := false
+		lc := f.lcols[fr.col]
+		for fr.pos < len(lc) {
+			r := lc[fr.pos].row
+			fr.pos++
+			if kk := f.rowOfPiv[r]; kk >= 0 && visited[kk] != stamp {
+				visited[kk] = stamp
+				frames = append(frames, frame{col: kk})
+				adv = true
+				break
+			}
+		}
+		if !adv && fr.pos >= len(lc) {
+			*order = append(*order, fr.col)
+			frames = frames[:len(frames)-1]
+		}
+	}
+	_ = stack
+}
+
+// ftran solves B x = b in place: b is indexed by original row on input,
+// and on output x is indexed by factor column (i.e. x[j] is the value of
+// the basic variable in factor position j).
+func (f *luFactor) ftran(b []float64) {
+	// Forward solve L y = Pb: process factor columns in order.
+	for j := 0; j < f.m; j++ {
+		y := b[f.pivotRow[j]]
+		if y == 0 {
+			continue
+		}
+		for _, e := range f.lcols[j] {
+			b[e.row] -= y * e.val
+		}
+	}
+	// Gather into factor order and back-substitute U x = y.
+	x := make([]float64, f.m)
+	for j := 0; j < f.m; j++ {
+		x[j] = b[f.pivotRow[j]]
+	}
+	for j := f.m - 1; j >= 0; j-- {
+		x[j] /= f.udiag[j]
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for _, e := range f.ucols[j] {
+			x[e.row] -= xj * e.val
+		}
+	}
+	copy(b[:f.m], x)
+}
+
+// btran solves B^T y = c in place: c is indexed by factor column on
+// input; on output y is indexed by original row.
+func (f *luFactor) btran(c []float64) {
+	// Solve U^T z = c: forward over factor columns.
+	for j := 0; j < f.m; j++ {
+		for _, e := range f.ucols[j] {
+			c[j] -= e.val * c[e.row]
+		}
+		c[j] /= f.udiag[j]
+	}
+	// Solve L^T (Py) = z: backward.
+	y := make([]float64, f.m)
+	for j := 0; j < f.m; j++ {
+		y[j] = c[j]
+	}
+	for j := f.m - 1; j >= 0; j-- {
+		acc := y[j]
+		for _, e := range f.lcols[j] {
+			acc -= e.val * y[f.rowOfPiv[e.row]]
+		}
+		y[j] = acc
+	}
+	for j := 0; j < f.m; j++ {
+		c[f.pivotRow[j]] = y[j]
+	}
+}

@@ -1,0 +1,204 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseMatVec computes A x for a column-wise sparse matrix.
+func denseMatVec(m int, cols [][]entry, x []float64) []float64 {
+	out := make([]float64, m)
+	for j, col := range cols {
+		for _, e := range col {
+			out[e.row] += e.val * x[j]
+		}
+	}
+	return out
+}
+
+// denseMatTVec computes A^T y.
+func denseMatTVec(m int, cols [][]entry, y []float64) []float64 {
+	out := make([]float64, m)
+	for j, col := range cols {
+		for _, e := range col {
+			out[j] += e.val * y[e.row]
+		}
+	}
+	return out
+}
+
+func TestLUIdentity(t *testing.T) {
+	m := 4
+	cols := make([][]entry, m)
+	for j := range cols {
+		cols[j] = []entry{{row: j, val: 1}}
+	}
+	f, err := luFactorize(m, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 2, 3, 4}
+	x := append([]float64(nil), b...)
+	f.ftran(x)
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-12 {
+			t.Errorf("ftran identity x[%d] = %g", i, x[i])
+		}
+	}
+	y := append([]float64(nil), b...)
+	f.btran(y)
+	for i := range b {
+		if math.Abs(y[i]-b[i]) > 1e-12 {
+			t.Errorf("btran identity y[%d] = %g", i, y[i])
+		}
+	}
+}
+
+func TestLUPermutation(t *testing.T) {
+	// Columns of a permutation matrix: col j has 1 in row (j+1) mod m.
+	m := 5
+	cols := make([][]entry, m)
+	for j := range cols {
+		cols[j] = []entry{{row: (j + 1) % m, val: 1}}
+	}
+	f, err := luFactorize(m, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{10, 20, 30, 40, 50}
+	x := append([]float64(nil), b...)
+	f.ftran(x)
+	// Verify A x = b.
+	ax := denseMatVec(m, cols, x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-9 {
+			t.Errorf("Ax[%d] = %g, want %g", i, ax[i], b[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	m := 3
+	cols := [][]entry{
+		{{row: 0, val: 1}},
+		{{row: 0, val: 2}}, // linearly dependent with col 0
+		{{row: 2, val: 1}},
+	}
+	if _, err := luFactorize(m, cols); err == nil {
+		t.Error("expected singular error")
+	}
+}
+
+func TestLURandomDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(12)
+		cols := make([][]entry, m)
+		for j := range cols {
+			for i := 0; i < m; i++ {
+				if rng.Float64() < 0.5 {
+					cols[j] = append(cols[j], entry{row: i, val: rng.NormFloat64()})
+				}
+			}
+			// Guarantee a strong diagonal to keep matrices nonsingular.
+			cols[j] = append(cols[j], entry{row: j, val: 3 + rng.Float64()})
+		}
+		f, err := luFactorize(m, cols)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// ftran check: A x = b.
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := append([]float64(nil), b...)
+		f.ftran(x)
+		ax := denseMatVec(m, cols, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-7 {
+				t.Fatalf("trial %d: Ax[%d] = %g, want %g", trial, i, ax[i], b[i])
+			}
+		}
+		// btran check: A^T y = c.
+		c := make([]float64, m)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		y := append([]float64(nil), c...)
+		f.btran(y)
+		aty := denseMatTVec(m, cols, y)
+		for i := range c {
+			if math.Abs(aty[i]-c[i]) > 1e-7 {
+				t.Fatalf("trial %d: A'y[%d] = %g, want %g", trial, i, aty[i], c[i])
+			}
+		}
+	}
+}
+
+func TestLUSparseStructured(t *testing.T) {
+	// Mimic a simplex basis: mostly unit (slack) columns, a few
+	// structural columns with 2-4 entries.
+	rng := rand.New(rand.NewSource(11))
+	m := 200
+	cols := make([][]entry, m)
+	for j := range cols {
+		if rng.Float64() < 0.7 {
+			cols[j] = []entry{{row: j, val: 1}}
+			continue
+		}
+		cols[j] = []entry{{row: j, val: 2 + rng.Float64()}}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			r := rng.Intn(m)
+			if r != j {
+				cols[j] = append(cols[j], entry{row: r, val: rng.NormFloat64()})
+			}
+		}
+	}
+	f, err := luFactorize(m, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := append([]float64(nil), b...)
+	f.ftran(x)
+	ax := denseMatVec(m, cols, x)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-6 {
+			t.Fatalf("Ax[%d] = %g, want %g", i, ax[i], b[i])
+		}
+	}
+	c := make([]float64, m)
+	for i := range c {
+		c[i] = rng.NormFloat64()
+	}
+	y := append([]float64(nil), c...)
+	f.btran(y)
+	aty := denseMatTVec(m, cols, y)
+	for i := range c {
+		if math.Abs(aty[i]-c[i]) > 1e-6 {
+			t.Fatalf("A'y[%d] = %g, want %g", i, aty[i], c[i])
+		}
+	}
+}
+
+func TestLUDuplicateEntriesCombine(t *testing.T) {
+	// Duplicate (row, val) entries in one column must sum.
+	cols := [][]entry{
+		{{row: 0, val: 1}, {row: 0, val: 1}}, // effectively 2 at row 0
+		{{row: 1, val: 1}},
+	}
+	f, err := luFactorize(2, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{4, 3}
+	f.ftran(x)
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [2 3]", x)
+	}
+}

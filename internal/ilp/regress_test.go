@@ -1,0 +1,104 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestFullPricingMatchesPartial cross-checks the two pricing modes on
+// random binary programs: statuses and optima must agree.
+func TestFullPricingMatchesPartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		m := NewModel()
+		n := 5 + rng.Intn(10)
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = m.AddBinary("x", float64(1+rng.Intn(4)))
+		}
+		for c := 0; c < 3+rng.Intn(5); c++ {
+			var terms []Term
+			for _, v := range vars {
+				if rng.Float64() < 0.4 {
+					terms = append(terms, Term{v, 1})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				m.AddConstraint(terms, GE, 1, "cover")
+			} else {
+				m.AddConstraint(terms, LE, float64(1+rng.Intn(3)), "cap")
+			}
+		}
+		a, err := Solve(m, Options{TimeLimit: 20 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(m, Options{TimeLimit: 20 * time.Second, FullPricing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: partial=%v full=%v", trial, a.Status, b.Status)
+		}
+		if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objectives differ: %g vs %g", trial, a.Objective, b.Objective)
+		}
+	}
+}
+
+// TestNoFalseInfeasibleUnderNodeLimit ensures that exhausting the node
+// budget on a feasible model yields LimitReached (or a feasible
+// incumbent), never Infeasible.
+func TestNoFalseInfeasibleUnderNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		m := NewModel()
+		n := 12
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = m.AddBinary("x", 1)
+		}
+		// Feasible by construction: covers only.
+		for c := 0; c < 6; c++ {
+			var terms []Term
+			for _, v := range vars {
+				if rng.Float64() < 0.4 {
+					terms = append(terms, Term{v, 1})
+				}
+			}
+			if len(terms) > 0 {
+				m.AddConstraint(terms, GE, 1, "cover")
+			}
+		}
+		sol, err := Solve(m, Options{NodeLimit: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status == Infeasible {
+			t.Fatalf("trial %d: feasible model declared infeasible under node limit", trial)
+		}
+	}
+}
+
+// TestInfeasibleStillProven ensures genuinely infeasible models are
+// still detected as Infeasible (not weakened to LimitReached).
+func TestInfeasibleStillProven(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("a", 1)
+	b := m.AddBinary("b", 1)
+	c := m.AddBinary("c", 1)
+	m.AddConstraint([]Term{{a, 1}, {b, 1}, {c, 1}}, GE, 3, "all")
+	m.AddConstraint([]Term{{a, 1}, {b, 1}}, LE, 1, "cap")
+	sol, err := Solve(m, Options{TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}

@@ -1,0 +1,670 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Bounded-variable revised simplex. The LP is held in computational
+// standard form A x = b where x covers structural variables, one slack
+// per row, and phase-1 artificial variables. The basis is maintained as a
+// sparse LU factorization plus a product-form eta file, refactored
+// periodically.
+
+// Variable states.
+const (
+	stBasic int8 = iota + 1
+	stLower
+	stUpper
+)
+
+// Solver tolerances and limits.
+const (
+	feasTol      = 1e-7
+	optTol       = 1e-7
+	pivotTol     = 1e-9
+	zeroTol      = 1e-11
+	maxEtas      = 64
+	degenLimit   = 400 // degenerate iterations before switching to Bland
+	checkEveryIt = 256 // deadline poll frequency
+)
+
+// lpStatus is the outcome of an LP solve.
+type lpStatus int
+
+const (
+	lpOptimal lpStatus = iota + 1
+	lpInfeasible
+	lpUnbounded
+	lpTimeLimit
+)
+
+// errLPNumerics reports an unrecoverable numerical failure.
+var errLPNumerics = errors.New("ilp: simplex numerical failure")
+
+// eta is one product-form basis update: the basis column at position p
+// was replaced; w = B_prev^{-1} a_entering.
+type eta struct {
+	p  int
+	w  []entry // nonzeros of w by basis position, excluding p
+	wp float64 // w[p], the pivot element
+}
+
+// lpSolver holds the standard-form LP and simplex state.
+type lpSolver struct {
+	m, n  int // rows; total columns (structural+slack+artificial)
+	nOrig int // structural variable count
+	cols  [][]entry
+	lo    []float64
+	hi    []float64
+	obj   []float64 // phase-2 objective
+	rhs   []float64
+
+	basic  []int // var index basic at each row position
+	state  []int8
+	xB     []float64 // basic variable values by position
+	factor *luFactor
+	etas   []eta
+
+	cost    []float64 // active objective (phase 1 or 2)
+	inPhase int
+
+	iters    int
+	deadline time.Time
+
+	// bufA is a scratch row vector reused by refactorize.
+	bufA []float64
+	// priceCursor is the rolling start position for partial pricing;
+	// priceWindow widens on degenerate pivots (zigzag guard) and resets
+	// after real progress. fullPricing forces a complete scan always.
+	priceCursor int
+	priceWindow int
+	fullPricing bool
+}
+
+// newLPSolver builds standard form from a model's continuous relaxation,
+// using the bounds arrays provided (which may be tightened copies of the
+// model's own bounds).
+func newLPSolver(m *Model, lo, hi []float64) *lpSolver {
+	nStruct := len(m.vars)
+	nRows := len(m.cons)
+	s := &lpSolver{
+		m:     nRows,
+		nOrig: nStruct,
+		rhs:   make([]float64, nRows),
+	}
+	total := nStruct + nRows // + artificials appended later
+	s.cols = make([][]entry, total, total+nRows)
+	s.lo = make([]float64, total, total+nRows)
+	s.hi = make([]float64, total, total+nRows)
+	s.obj = make([]float64, total, total+nRows)
+	for j := 0; j < nStruct; j++ {
+		s.lo[j], s.hi[j] = lo[j], hi[j]
+		s.obj[j] = m.vars[j].obj
+	}
+	// Rows and slacks.
+	for i, c := range m.cons {
+		for _, t := range c.Terms {
+			s.cols[t.Var] = append(s.cols[t.Var], entry{row: i, val: t.Coef})
+		}
+		s.rhs[i] = c.RHS
+		sl := nStruct + i
+		s.cols[sl] = []entry{{row: i, val: 1}}
+		switch c.Op {
+		case LE:
+			s.lo[sl], s.hi[sl] = 0, Inf
+		case GE:
+			s.lo[sl], s.hi[sl] = math.Inf(-1), 0
+		case EQ:
+			s.lo[sl], s.hi[sl] = 0, 0
+		}
+	}
+	s.n = total
+	s.bufA = make([]float64, nRows)
+	return s
+}
+
+// initBasis sets every structural variable nonbasic at its nearest finite
+// bound, installs slacks as the basis where feasible, and adds artificial
+// variables for rows whose slack cannot absorb the residual.
+func (s *lpSolver) initBasis() {
+	s.state = make([]int8, s.n, s.n+s.m)
+	s.basic = make([]int, s.m)
+	s.xB = make([]float64, s.m)
+	for j := 0; j < s.nOrig; j++ {
+		s.state[j] = stLower // rebuildFromStates snaps infinite bounds
+	}
+	s.rebuildFromStates()
+}
+
+// nonbasicValue returns the current value of a nonbasic variable.
+func (s *lpSolver) nonbasicValue(j int) float64 {
+	switch s.state[j] {
+	case stLower:
+		if math.IsInf(s.lo[j], -1) {
+			return 0
+		}
+		return s.lo[j]
+	case stUpper:
+		if math.IsInf(s.hi[j], 1) {
+			return 0
+		}
+		return s.hi[j]
+	default:
+		panic("ilp: nonbasicValue of basic variable")
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// refactorize rebuilds the LU factorization of the current basis and
+// recomputes basic values from scratch, flushing accumulated drift.
+func (s *lpSolver) refactorize() error {
+	cols := make([][]entry, s.m)
+	for i, v := range s.basic {
+		cols[i] = s.cols[v]
+	}
+	f, err := luFactorize(s.m, cols)
+	if err != nil {
+		return err
+	}
+	s.factor = f
+	s.etas = s.etas[:0]
+	// xB = B^{-1} (b - N x_N)
+	r := s.bufA
+	copy(r, s.rhs)
+	for j := 0; j < s.n; j++ {
+		if s.state[j] == stBasic {
+			continue
+		}
+		xj := s.nonbasicValue(j)
+		if xj == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			r[e.row] -= e.val * xj
+		}
+	}
+	s.factor.ftran(r)
+	copy(s.xB, r)
+	return nil
+}
+
+// ftran computes w = B^{-1} a_j into out (dense by basis position).
+func (s *lpSolver) ftran(j int, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for _, e := range s.cols[j] {
+		out[e.row] += e.val
+	}
+	s.factor.ftran(out)
+	for _, et := range s.etas {
+		xp := out[et.p] / et.wp
+		out[et.p] = xp
+		if xp == 0 {
+			continue
+		}
+		for _, e := range et.w {
+			out[e.row] -= e.val * xp
+		}
+	}
+}
+
+// duals computes y = B^{-T} c_B into out (dense by row).
+func (s *lpSolver) duals(out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i, v := range s.basic {
+		out[i] = s.cost[v]
+	}
+	for k := len(s.etas) - 1; k >= 0; k-- {
+		et := s.etas[k]
+		acc := out[et.p]
+		for _, e := range et.w {
+			acc -= out[e.row] * e.val
+		}
+		out[et.p] = acc / et.wp
+	}
+	s.factor.btran(out)
+}
+
+// phase1Costs installs the infeasibility objective (artificials cost 1).
+func (s *lpSolver) phase1Costs() {
+	s.cost = make([]float64, s.n)
+	for j := s.nOrig + s.m; j < s.n; j++ {
+		s.cost[j] = 1
+	}
+	s.inPhase = 1
+}
+
+// phase2Costs installs the true objective and freezes artificials at 0.
+func (s *lpSolver) phase2Costs() {
+	s.cost = make([]float64, s.n)
+	copy(s.cost, s.obj)
+	for j := s.nOrig + s.m; j < s.n; j++ {
+		s.lo[j], s.hi[j] = 0, 0
+	}
+	s.inPhase = 2
+}
+
+// objective returns the current active-cost objective value.
+func (s *lpSolver) objective() float64 {
+	v := 0.0
+	for i, b := range s.basic {
+		v += s.cost[b] * s.xB[i]
+	}
+	for j := 0; j < s.n; j++ {
+		if s.state[j] != stBasic && s.cost[j] != 0 {
+			v += s.cost[j] * s.nonbasicValue(j)
+		}
+	}
+	return v
+}
+
+// price selects an entering variable, or -1 when provably optimal.
+// Partial pricing scans a rolling window past the first candidate so a
+// typical iteration touches only a fraction of the columns; a full wrap
+// with no candidate proves optimality. Bland's rule (first eligible by
+// index, full scan) is used when bland is true to break cycles.
+func (s *lpSolver) price(y []float64, bland bool) int {
+	window := s.priceWindow
+	if window < 1024 {
+		window = 1024
+	}
+	if s.fullPricing {
+		window = s.n
+	}
+	score := func(j int) float64 {
+		st := s.state[j]
+		if st == stBasic || s.lo[j] == s.hi[j] {
+			return 0
+		}
+		d := s.cost[j]
+		for _, e := range s.cols[j] {
+			d -= y[e.row] * e.val
+		}
+		if st == stLower {
+			return -d // want d < 0
+		}
+		return d // at upper bound: want d > 0
+	}
+	if bland {
+		for j := 0; j < s.n; j++ {
+			if score(j) > optTol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestScore := -1, optTol
+	scanned, sinceFound := 0, 0
+	j := s.priceCursor
+	for scanned < s.n {
+		if j >= s.n {
+			j = 0
+		}
+		if sc := score(j); sc > bestScore {
+			best, bestScore = j, sc
+			sinceFound = 0
+		}
+		j++
+		scanned++
+		if best >= 0 {
+			sinceFound++
+			if sinceFound >= window {
+				break
+			}
+		}
+	}
+	s.priceCursor = j
+	return best
+}
+
+// solve runs the simplex to completion on the active costs.
+func (s *lpSolver) solve() (lpStatus, error) {
+	if s.factor == nil {
+		if err := s.refactorize(); err != nil {
+			return 0, err
+		}
+	}
+	y := make([]float64, s.m)
+	w := make([]float64, s.m)
+	degen := 0
+	for {
+		s.iters++
+		if s.iters%checkEveryIt == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			return lpTimeLimit, nil
+		}
+		s.duals(y)
+		q := s.price(y, degen > degenLimit)
+		if q < 0 {
+			return lpOptimal, nil
+		}
+		dir := 1.0
+		if s.state[q] == stUpper {
+			dir = -1
+		}
+		s.ftran(q, w)
+
+		// Ratio test: entering moves by t >= 0 in direction dir; basic
+		// values change by -dir*t*w.
+		tMax := Inf
+		leave := -1
+		leaveAt := int8(0)
+		if !math.IsInf(s.lo[q], -1) && !math.IsInf(s.hi[q], 1) {
+			tMax = s.hi[q] - s.lo[q] // bound flip distance
+		}
+		for i := 0; i < s.m; i++ {
+			wi := w[i]
+			if math.Abs(wi) < pivotTol {
+				continue
+			}
+			b := s.basic[i]
+			delta := -dir * wi
+			var t float64
+			var at int8
+			if delta < 0 {
+				if math.IsInf(s.lo[b], -1) {
+					continue
+				}
+				t = (s.xB[i] - s.lo[b]) / -delta
+				at = stLower
+			} else {
+				if math.IsInf(s.hi[b], 1) {
+					continue
+				}
+				t = (s.hi[b] - s.xB[i]) / delta
+				at = stUpper
+			}
+			if t < -feasTol {
+				t = 0
+			}
+			if t < tMax-zeroTol {
+				tMax, leave, leaveAt = t, i, at
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			if s.inPhase == 1 {
+				return 0, errLPNumerics // phase-1 objective is bounded below
+			}
+			return lpUnbounded, nil
+		}
+		if tMax < 0 {
+			tMax = 0
+		}
+		if tMax < zeroTol {
+			degen++
+			// Widen partial pricing: degenerate steps often mean the
+			// window is hiding the strong candidates.
+			if s.priceWindow < 1024 {
+				s.priceWindow = 1024
+			}
+			if s.priceWindow < s.n {
+				s.priceWindow *= 2
+			}
+		} else {
+			degen = 0
+			s.priceWindow = 0
+		}
+		// Apply the step.
+		if tMax > 0 {
+			for i := 0; i < s.m; i++ {
+				if w[i] != 0 {
+					s.xB[i] -= dir * tMax * w[i]
+				}
+			}
+		}
+		if leave < 0 {
+			// Bound flip: entering variable crosses to its other bound.
+			if s.state[q] == stLower {
+				s.state[q] = stUpper
+			} else {
+				s.state[q] = stLower
+			}
+			continue
+		}
+		// Basis change: q enters at position leave.
+		lv := s.basic[leave]
+		s.state[lv] = leaveAt
+		enterVal := s.nonbasicValue(q) + dir*tMax
+		s.basic[leave] = q
+		s.state[q] = stBasic
+		s.xB[leave] = enterVal
+		// Record eta (w as of the pre-change basis).
+		wp := w[leave]
+		if math.Abs(wp) < pivotTol {
+			return 0, errLPNumerics
+		}
+		var wn []entry
+		for i := 0; i < s.m; i++ {
+			if i != leave && math.Abs(w[i]) > zeroTol {
+				wn = append(wn, entry{row: i, val: w[i]})
+			}
+		}
+		s.etas = append(s.etas, eta{p: leave, w: wn, wp: wp})
+		if len(s.etas) >= maxEtas {
+			if err := s.refactorize(); err != nil {
+				return 0, err
+			}
+		}
+	}
+}
+
+// solveLP runs phase 1 then phase 2 from the current basis.
+func (s *lpSolver) solveLP() (lpStatus, error) {
+	// Phase 1 is needed when any basic variable is out of bounds or an
+	// artificial is positive.
+	if s.needsPhase1() {
+		s.phase1Costs()
+		st, err := s.solve()
+		if err != nil || st == lpTimeLimit {
+			return st, err
+		}
+		if s.phase1Objective() > 1e-6 {
+			return lpInfeasible, nil
+		}
+	}
+	s.phase2Costs()
+	return s.solve()
+}
+
+// needsPhase1 reports whether any artificial is positive.
+func (s *lpSolver) needsPhase1() bool {
+	for i, b := range s.basic {
+		if b >= s.nOrig+s.m && s.xB[i] > feasTol {
+			return true
+		}
+	}
+	return false
+}
+
+// phase1Objective sums artificial values.
+func (s *lpSolver) phase1Objective() float64 {
+	v := 0.0
+	for i, b := range s.basic {
+		if b >= s.nOrig+s.m {
+			v += s.xB[i]
+		}
+	}
+	for j := s.nOrig + s.m; j < s.n; j++ {
+		if s.state[j] != stBasic {
+			v += s.nonbasicValue(j)
+		}
+	}
+	return v
+}
+
+// primalValues extracts the structural solution.
+func (s *lpSolver) primalValues() []float64 {
+	x := make([]float64, s.nOrig)
+	for j := 0; j < s.nOrig; j++ {
+		if s.state[j] != stBasic {
+			x[j] = s.nonbasicValue(j)
+		}
+	}
+	for i, b := range s.basic {
+		if b < s.nOrig {
+			x[b] = s.xB[i]
+		}
+	}
+	return x
+}
+
+// structuralObjective evaluates the true objective at the current point.
+func (s *lpSolver) structuralObjective() float64 {
+	v := 0.0
+	x := s.primalValues()
+	for j := 0; j < s.nOrig; j++ {
+		v += s.obj[j] * x[j]
+	}
+	return v
+}
+
+// setBound tightens a structural variable's bounds in place. The caller
+// must re-solve afterwards; if the variable is nonbasic outside the new
+// range it is snapped to the nearest bound.
+func (s *lpSolver) setBound(j int, lo, hi float64) {
+	s.lo[j], s.hi[j] = lo, hi
+	if s.state[j] == stBasic {
+		return
+	}
+	v := s.nonbasicValue(j)
+	if v < lo {
+		s.state[j] = stLower
+	} else if v > hi {
+		s.state[j] = stUpper
+	}
+}
+
+// resolveAfterBoundChange re-solves the LP after variable bounds (and
+// possibly the nonbasic state vector) changed. The caller's state vector
+// is the warm start: the basis is reconstructed from it (slacks basic
+// where feasible, artificials patching the rest), phase 1 restores
+// feasibility, and phase 2 re-optimizes.
+func (s *lpSolver) resolveAfterBoundChange() (lpStatus, error) {
+	st, err := s.primalRepair()
+	if err != nil || st == lpTimeLimit || st == lpInfeasible {
+		return st, err
+	}
+	s.phase2Costs()
+	return s.solve()
+}
+
+// basicInfeasible reports whether some basic variable violates its bounds.
+func (s *lpSolver) basicInfeasible() bool {
+	for i, b := range s.basic {
+		if s.xB[i] < s.lo[b]-feasTol || s.xB[i] > s.hi[b]+feasTol {
+			return true
+		}
+	}
+	return false
+}
+
+// primalRepair restores primal feasibility by relaxing violated basics
+// onto artificial columns and minimizing the violation.
+func (s *lpSolver) primalRepair() (lpStatus, error) {
+	// Rebuild from scratch: structural nonbasics stay where they are
+	// (snapped into bounds), and rows that cannot be balanced by their
+	// slack get artificials. Preserving the old basis would be a
+	// performance nicety; correctness first.
+	s.rebuildFromStates()
+	if err := s.refactorize(); err != nil {
+		return 0, err
+	}
+	if s.needsPhase1() || s.basicInfeasible() {
+		s.phase1Costs()
+		st, err := s.solve()
+		if err != nil || st == lpTimeLimit {
+			return st, err
+		}
+		if s.phase1Objective() > 1e-6 {
+			return lpInfeasible, nil
+		}
+	}
+	return lpOptimal, nil
+}
+
+// rebuildFromStates drops all artificials and reconstructs a feasible
+// starting basis: slacks basic where possible, artificials elsewhere.
+// Structural nonbasic states are preserved (snapped into bounds).
+func (s *lpSolver) rebuildFromStates() {
+	// Truncate artificial columns.
+	base := s.nOrig + s.m
+	s.cols = s.cols[:base]
+	s.lo = s.lo[:base]
+	s.hi = s.hi[:base]
+	s.obj = s.obj[:base]
+	st := make([]int8, base, base+s.m)
+	copy(st, s.state[:base])
+	s.state = st
+	s.n = base
+	// Snap structural nonbasics into bounds; make all slacks nonbasic
+	// then rebuild residuals.
+	for j := 0; j < s.nOrig; j++ {
+		if s.state[j] == stBasic {
+			s.state[j] = stLower
+			if math.IsInf(s.lo[j], -1) {
+				s.state[j] = stUpper
+			}
+		}
+		if s.state[j] == stLower && math.IsInf(s.lo[j], -1) {
+			s.state[j] = stUpper
+		}
+		if s.state[j] == stUpper && math.IsInf(s.hi[j], 1) {
+			s.state[j] = stLower
+		}
+	}
+	r := make([]float64, s.m)
+	copy(r, s.rhs)
+	for j := 0; j < s.nOrig; j++ {
+		xj := s.nonbasicValue(j)
+		if xj == 0 {
+			continue
+		}
+		for _, e := range s.cols[j] {
+			r[e.row] -= e.val * xj
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		sl := s.nOrig + i
+		if r[i] >= s.lo[sl]-feasTol && r[i] <= s.hi[sl]+feasTol {
+			s.basic[i] = sl
+			s.state[sl] = stBasic
+			s.xB[i] = clamp(r[i], s.lo[sl], s.hi[sl])
+			continue
+		}
+		near := s.lo[sl]
+		nst := stLower
+		if math.IsInf(near, -1) || (r[i] > s.hi[sl] && !math.IsInf(s.hi[sl], 1)) {
+			near, nst = s.hi[sl], stUpper
+		}
+		s.state[sl] = nst
+		resid := r[i] - near
+		sign := 1.0
+		if resid < 0 {
+			sign = -1
+		}
+		av := len(s.cols)
+		s.cols = append(s.cols, []entry{{row: i, val: sign}})
+		s.lo = append(s.lo, 0)
+		s.hi = append(s.hi, Inf)
+		s.obj = append(s.obj, 0)
+		s.state = append(s.state, stBasic)
+		s.basic[i] = av
+		s.xB[i] = math.Abs(resid)
+	}
+	s.n = len(s.cols)
+	s.factor = nil
+	s.etas = s.etas[:0]
+}

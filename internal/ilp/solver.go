@@ -1,0 +1,402 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Options controls a solve.
+type Options struct {
+	// TimeLimit bounds the wall-clock solve time (0 = no limit).
+	TimeLimit time.Duration
+	// NodeLimit bounds branch & bound nodes (0 = no limit).
+	NodeLimit int
+	// Presolve enables bound propagation and model reduction (default
+	// on; set DisablePresolve to turn off for ablation).
+	DisablePresolve bool
+	// FullPricing forces full Dantzig pricing on every simplex
+	// iteration instead of partial pricing (debug/ablation).
+	FullPricing bool
+}
+
+// Solve minimizes the model. The returned solution's Values are rounded
+// to integers for integer variables when a solution is found.
+func Solve(m *Model, opts Options) (Solution, error) {
+	if err := m.Validate(); err != nil {
+		return Solution{}, err
+	}
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	lo := make([]float64, len(m.vars))
+	hi := make([]float64, len(m.vars))
+	for j, v := range m.vars {
+		lo[j], hi[j] = v.lo, v.hi
+	}
+
+	stats := Stats{}
+	work := m
+	if !opts.DisablePresolve {
+		switch presolve(m, lo, hi, &stats) {
+		case presolveInfeasible:
+			return Solution{Status: Infeasible, Stats: stats}, nil
+		}
+	}
+
+	bb := &bnb{
+		model:       work,
+		deadline:    deadline,
+		nodeCap:     opts.NodeLimit,
+		stats:       stats,
+		fullPricing: opts.FullPricing,
+	}
+	sol, err := bb.run(lo, hi)
+	if err != nil {
+		return Solution{}, err
+	}
+	return sol, nil
+}
+
+type presolveResult int
+
+const (
+	presolveOK presolveResult = iota + 1
+	presolveInfeasible
+)
+
+// presolve tightens variable bounds by constraint activity propagation,
+// iterating to a fixpoint. It modifies lo/hi in place and never excludes
+// an integer-feasible point.
+func presolve(m *Model, lo, hi []float64, stats *Stats) presolveResult {
+	for round := 0; round < 20; round++ {
+		changed := false
+		for ci := range m.cons {
+			c := &m.cons[ci]
+			// Treat EQ as both LE and GE.
+			if c.Op == LE || c.Op == EQ {
+				switch propagateLE(m, c.Terms, c.RHS, lo, hi, stats) {
+				case presolveInfeasible:
+					return presolveInfeasible
+				case presolveChanged:
+					changed = true
+				}
+			}
+			if c.Op == GE || c.Op == EQ {
+				// -terms <= -rhs
+				neg := make([]Term, len(c.Terms))
+				for i, t := range c.Terms {
+					neg[i] = Term{Var: t.Var, Coef: -t.Coef}
+				}
+				switch propagateLE(m, neg, -c.RHS, lo, hi, stats) {
+				case presolveInfeasible:
+					return presolveInfeasible
+				case presolveChanged:
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return presolveOK
+}
+
+const presolveChanged presolveResult = 99
+
+// propagateLE tightens bounds for a row sum(a x) <= b.
+func propagateLE(m *Model, terms []Term, b float64, lo, hi []float64, stats *Stats) presolveResult {
+	minAct := 0.0
+	for _, t := range terms {
+		if t.Coef > 0 {
+			minAct += t.Coef * lo[t.Var]
+		} else {
+			minAct += t.Coef * hi[t.Var]
+		}
+	}
+	if math.IsInf(minAct, -1) {
+		return presolveOK
+	}
+	if minAct > b+1e-7 {
+		return presolveInfeasible
+	}
+	res := presolveOK
+	for _, t := range terms {
+		slack := b - minAct
+		if t.Coef > 0 {
+			// a_j (x_j - lo_j) <= slack
+			ub := lo[t.Var] + slack/t.Coef
+			if m.vars[t.Var].integer {
+				ub = math.Floor(ub + 1e-7)
+			}
+			if ub < hi[t.Var]-1e-9 {
+				hi[t.Var] = ub
+				if ub < lo[t.Var]-1e-9 {
+					return presolveInfeasible
+				}
+				stats.PresolveFix++
+				res = presolveChanged
+			}
+		} else if t.Coef < 0 {
+			lb := hi[t.Var] + slack/t.Coef
+			if m.vars[t.Var].integer {
+				lb = math.Ceil(lb - 1e-7)
+			}
+			if lb > lo[t.Var]+1e-9 {
+				lo[t.Var] = lb
+				if lb > hi[t.Var]+1e-9 {
+					return presolveInfeasible
+				}
+				stats.PresolveFix++
+				res = presolveChanged
+			}
+		}
+	}
+	return res
+}
+
+// bnb is the branch & bound driver.
+type bnb struct {
+	model    *Model
+	deadline time.Time
+	nodeCap  int
+	stats    Stats
+
+	incumbent    []float64
+	incumbentObj float64
+	haveInc      bool
+
+	objIntegral bool
+	fullPricing bool
+	// lostSubtree records that some node was pruned for a reason other
+	// than proven infeasibility or bound domination (time limit,
+	// numerics); a clean "Infeasible" conclusion is then impossible.
+	lostSubtree bool
+}
+
+// nodeFrame is one DFS frame: a branching variable, its two children's
+// bound intervals, and the parent's nonbasic state vector used to warm
+// start each child's LP.
+type nodeFrame struct {
+	variable     int
+	oldLo, oldHi float64
+	children     [2][2]float64 // {lo, hi} per child, dive-first order
+	next         int           // next child index to try (0, 1, or 2=done)
+	state        []int8        // parent states for structurals+slacks
+}
+
+func (b *bnb) run(lo, hi []float64) (Solution, error) {
+	m := b.model
+	b.objIntegral = true
+	for _, v := range m.vars {
+		if v.obj != math.Trunc(v.obj) {
+			b.objIntegral = false
+			break
+		}
+	}
+	s := newLPSolver(m, lo, hi)
+	s.deadline = b.deadline
+	s.fullPricing = b.fullPricing
+	s.initBasis()
+	st, err := s.solveLP()
+	if err != nil {
+		return Solution{}, err
+	}
+	b.stats.SimplexIters = s.iters
+	switch st {
+	case lpInfeasible:
+		return Solution{Status: Infeasible, Stats: b.stats}, nil
+	case lpUnbounded:
+		return Solution{Status: Unbounded, Stats: b.stats}, nil
+	case lpTimeLimit:
+		return Solution{Status: LimitReached, Stats: b.stats}, nil
+	}
+
+	b.incumbentObj = math.Inf(1)
+	var stack []*nodeFrame
+	b.stats.Nodes = 1
+
+	// Process the root, then iterate the DFS.
+	frac := b.checkIntegral(s)
+	if frac < 0 {
+		return b.finish(s.primalValues(), s.structuralObjective(), true)
+	}
+	stack = b.push(stack, s, frac)
+
+	for len(stack) > 0 {
+		if b.expired() {
+			break
+		}
+		if b.nodeCap > 0 && b.stats.Nodes >= b.nodeCap {
+			break
+		}
+		top := stack[len(stack)-1]
+		if top.next >= 2 {
+			// Both children explored: restore bounds and pop.
+			s.setBound(top.variable, top.oldLo, top.oldHi)
+			stack = stack[:len(stack)-1]
+			continue
+		}
+
+		// Apply the next child: parent's nonbasic states + child bounds.
+		child := top.children[top.next]
+		top.next++
+		copy(s.state[:len(top.state)], top.state)
+		s.setBound(top.variable, child[0], child[1])
+		b.stats.Nodes++
+		st, err := s.resolveAfterBoundChange()
+		if err != nil {
+			return Solution{}, err
+		}
+		b.stats.SimplexIters = s.iters
+
+		switch st {
+		case lpOptimal:
+			bound := s.structuralObjective()
+			if b.objIntegral {
+				bound = math.Ceil(bound - 1e-6)
+			}
+			if b.haveInc && bound >= b.incumbentObj-1e-9 {
+				continue // prune by bound
+			}
+			if f := b.checkIntegral(s); f < 0 {
+				obj := s.structuralObjective()
+				if !b.haveInc || obj < b.incumbentObj-1e-9 {
+					b.haveInc = true
+					b.incumbentObj = obj
+					b.incumbent = s.primalValues()
+				}
+				continue
+			} else {
+				stack = b.push(stack, s, f)
+			}
+		case lpInfeasible:
+			continue // proven empty: sound prune
+		default:
+			// Time limit or numeric trouble: the subtree is lost, so an
+			// Infeasible conclusion is no longer provable.
+			b.lostSubtree = true
+			continue
+		}
+	}
+
+	if b.expired() || (b.nodeCap > 0 && b.stats.Nodes >= b.nodeCap) {
+		if b.haveInc {
+			return b.finish(b.incumbent, b.incumbentObj, false)
+		}
+		return Solution{Status: LimitReached, Stats: b.stats}, nil
+	}
+	if b.haveInc {
+		return b.finish(b.incumbent, b.incumbentObj, !b.lostSubtree)
+	}
+	if b.lostSubtree {
+		return Solution{Status: LimitReached, Stats: b.stats}, nil
+	}
+	return Solution{Status: Infeasible, Stats: b.stats}, nil
+}
+
+// expired reports whether the deadline passed.
+func (b *bnb) expired() bool {
+	return !b.deadline.IsZero() && time.Now().After(b.deadline)
+}
+
+// checkIntegral returns the index of the most fractional integer variable
+// in the current LP solution, or -1 if the solution is integral.
+func (b *bnb) checkIntegral(s *lpSolver) int {
+	x := s.primalValues()
+	best, bestDist := -1, 1e-6
+	for j, v := range b.model.vars {
+		if !v.integer {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist = dist
+			best = j
+		}
+	}
+	return best
+}
+
+// push creates a DFS frame branching on variable j, diving first toward
+// the nearer integer of its LP value.
+func (b *bnb) push(stack []*nodeFrame, s *lpSolver, j int) []*nodeFrame {
+	x := s.primalValues()[j]
+	floor := math.Floor(x)
+	fr := &nodeFrame{
+		variable: j,
+		oldLo:    s.lo[j],
+		oldHi:    s.hi[j],
+		state:    append([]int8(nil), s.state[:s.nOrig+s.m]...),
+	}
+	down := [2]float64{s.lo[j], floor}
+	up := [2]float64{floor + 1, s.hi[j]}
+	if x-floor <= 0.5 {
+		fr.children = [2][2]float64{down, up}
+	} else {
+		fr.children = [2][2]float64{up, down}
+	}
+	return append(stack, fr)
+}
+
+// finish assembles the final solution.
+func (b *bnb) finish(x []float64, obj float64, proven bool) (Solution, error) {
+	vals := append([]float64(nil), x...)
+	for j, v := range b.model.vars {
+		if v.integer {
+			vals[j] = math.Round(vals[j])
+		}
+	}
+	status := Feasible
+	if proven {
+		status = Optimal
+	}
+	return Solution{Status: status, Objective: obj, Values: vals, Stats: b.stats}, nil
+}
+
+// VerifySolution checks that values satisfy every constraint and bound of
+// the model within tolerance; it returns a descriptive error otherwise.
+// Used by tests and by callers that want a safety net.
+func VerifySolution(m *Model, values []float64) error {
+	if len(values) != len(m.vars) {
+		return fmt.Errorf("ilp: got %d values for %d variables", len(values), len(m.vars))
+	}
+	for j, v := range m.vars {
+		x := values[j]
+		if x < v.lo-1e-6 || x > v.hi+1e-6 {
+			return fmt.Errorf("ilp: variable %d (%s) = %g outside [%g, %g]", j, v.name, x, v.lo, v.hi)
+		}
+		if v.integer && math.Abs(x-math.Round(x)) > 1e-6 {
+			return fmt.Errorf("ilp: variable %d (%s) = %g not integral", j, v.name, x)
+		}
+	}
+	for ci, c := range m.cons {
+		act := 0.0
+		for _, t := range c.Terms {
+			act += t.Coef * values[t.Var]
+		}
+		ok := true
+		switch c.Op {
+		case LE:
+			ok = act <= c.RHS+1e-6
+		case GE:
+			ok = act >= c.RHS-1e-6
+		case EQ:
+			ok = math.Abs(act-c.RHS) <= 1e-6
+		}
+		if !ok {
+			return fmt.Errorf("ilp: constraint %d (%s): activity %g %v %g violated", ci, c.Name, act, c.Op, c.RHS)
+		}
+	}
+	return nil
+}
+
+// sortTermsByVar is a test helper ordering terms deterministically.
+func sortTermsByVar(terms []Term) {
+	sort.Slice(terms, func(a, b int) bool { return terms[a].Var < terms[b].Var })
+}

@@ -1,0 +1,150 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The classic 5-tuple header layout used by the firewall experiments.
+// Field bit offsets within the 104-bit header, low bit first.
+const (
+	// HeaderWidth is the total width of the 5-tuple header in bits.
+	HeaderWidth = 104
+
+	protoLo   = 0
+	protoBits = 8
+
+	dstPortLo   = 8
+	dstPortBits = 16
+
+	srcPortLo   = 24
+	srcPortBits = 16
+
+	dstIPLo   = 40
+	dstIPBits = 32
+
+	srcIPLo   = 72
+	srcIPBits = 32
+)
+
+// Header is a concrete 5-tuple packet header.
+type Header struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Words packs the header into the word layout expected by
+// Ternary.MatchesWords for HeaderWidth-bit ternaries.
+func (h Header) Words() []uint64 {
+	w := make([]uint64, 2)
+	put := func(lo, n int, v uint64) {
+		for i := 0; i < n; i++ {
+			if v>>uint(i)&1 == 1 {
+				w[(lo+i)/wordBits] |= 1 << uint((lo+i)%wordBits)
+			}
+		}
+	}
+	put(protoLo, protoBits, uint64(h.Proto))
+	put(dstPortLo, dstPortBits, uint64(h.DstPort))
+	put(srcPortLo, srcPortBits, uint64(h.SrcPort))
+	put(dstIPLo, dstIPBits, uint64(h.DstIP))
+	put(srcIPLo, srcIPBits, uint64(h.SrcIP))
+	return w
+}
+
+// String renders the header in a human-readable form.
+func (h Header) String() string {
+	return fmt.Sprintf("proto=%d %s:%d -> %s:%d", h.Proto, ipString(h.SrcIP), h.SrcPort, ipString(h.DstIP), h.DstPort)
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip>>24&0xff, ip>>16&0xff, ip>>8&0xff, ip&0xff)
+}
+
+// FiveTuple builds a HeaderWidth-bit ternary from prefix-style field
+// constraints. Prefix lengths of 0 wildcard the whole field.
+type FiveTuple struct {
+	SrcIP     uint32
+	SrcPfxLen int // 0..32
+	DstIP     uint32
+	DstPfxLen int // 0..32
+	SrcPort   uint16
+	SrcExact  bool // false: wildcard src port
+	DstPort   uint16
+	DstExact  bool // false: wildcard dst port
+	Proto     uint8
+	ProtoAny  bool // true: wildcard protocol
+}
+
+// Ternary converts the 5-tuple constraint into a ternary match.
+func (f FiveTuple) Ternary() Ternary {
+	t := NewTernary(HeaderWidth)
+	t = t.SetPrefix(srcIPLo, srcIPBits, uint64(f.SrcIP), f.SrcPfxLen)
+	t = t.SetPrefix(dstIPLo, dstIPBits, uint64(f.DstIP), f.DstPfxLen)
+	if f.SrcExact {
+		t = t.SetField(srcPortLo, srcPortBits, uint64(f.SrcPort))
+	}
+	if f.DstExact {
+		t = t.SetField(dstPortLo, dstPortBits, uint64(f.DstPort))
+	}
+	if !f.ProtoAny {
+		t = t.SetField(protoLo, protoBits, uint64(f.Proto))
+	}
+	return t
+}
+
+// DstPrefixTernary builds a ternary constraining only the destination IP
+// to the given prefix; used for per-path traffic slices.
+func DstPrefixTernary(dstIP uint32, plen int) Ternary {
+	return NewTernary(HeaderWidth).SetPrefix(dstIPLo, dstIPBits, uint64(dstIP), plen)
+}
+
+// SrcPrefixTernary builds a ternary constraining only the source IP.
+func SrcPrefixTernary(srcIP uint32, plen int) Ternary {
+	return NewTernary(HeaderWidth).SetPrefix(srcIPLo, srcIPBits, uint64(srcIP), plen)
+}
+
+// SampleHeader draws a uniformly random header matching t, which must be a
+// HeaderWidth-bit ternary. Wildcard bits are drawn from rng.
+func SampleHeader(t Ternary, rng *rand.Rand) Header {
+	if t.Width() != HeaderWidth {
+		panic(fmt.Sprintf("match: SampleHeader wants %d-bit ternary, got %d", HeaderWidth, t.Width()))
+	}
+	words := make([]uint64, len(t.value))
+	for i := range words {
+		words[i] = (t.value[i] & t.care[i]) | (rng.Uint64() &^ t.care[i])
+	}
+	get := func(lo, n int) uint64 {
+		var v uint64
+		for i := 0; i < n; i++ {
+			if words[(lo+i)/wordBits]>>uint((lo+i)%wordBits)&1 == 1 {
+				v |= 1 << uint(i)
+			}
+		}
+		return v
+	}
+	return Header{
+		SrcIP:   uint32(get(srcIPLo, srcIPBits)),
+		DstIP:   uint32(get(dstIPLo, dstIPBits)),
+		SrcPort: uint16(get(srcPortLo, srcPortBits)),
+		DstPort: uint16(get(dstPortLo, dstPortBits)),
+		Proto:   uint8(get(protoLo, protoBits)),
+	}
+}
+
+// SampleWords draws random packed header words matching a ternary of any
+// width. Useful for property tests over narrow synthetic headers.
+func SampleWords(t Ternary, rng *rand.Rand) []uint64 {
+	words := make([]uint64, len(t.value))
+	for i := range words {
+		words[i] = (t.value[i] & t.care[i]) | (rng.Uint64() &^ t.care[i])
+	}
+	if t.width%wordBits != 0 && len(words) > 0 {
+		// Zero bits above the declared width for stable comparisons.
+		words[len(words)-1] &= (1 << uint(t.width%wordBits)) - 1
+	}
+	return words
+}

@@ -1,0 +1,131 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFiveTupleTernary(t *testing.T) {
+	ft := FiveTuple{
+		SrcIP: 0x0A000000, SrcPfxLen: 8, // 10.0.0.0/8
+		DstIP: 0x0B000000, DstPfxLen: 16, // 11.0.0.0/16
+		DstPort: 80, DstExact: true,
+		Proto: 6,
+	}
+	tn := ft.Ternary()
+	if tn.Width() != HeaderWidth {
+		t.Fatalf("width = %d", tn.Width())
+	}
+	in := Header{SrcIP: 0x0A123456, DstIP: 0x0B004567, SrcPort: 999, DstPort: 80, Proto: 6}
+	if !tn.MatchesWords(in.Words()) {
+		t.Errorf("header %v should match %v", in, tn)
+	}
+	cases := []Header{
+		{SrcIP: 0x0B123456, DstIP: 0x0B004567, DstPort: 80, Proto: 6},  // wrong src prefix
+		{SrcIP: 0x0A123456, DstIP: 0x0B104567, DstPort: 80, Proto: 6},  // wrong dst /16
+		{SrcIP: 0x0A123456, DstIP: 0x0B004567, DstPort: 443, Proto: 6}, // wrong dst port
+		{SrcIP: 0x0A123456, DstIP: 0x0B004567, DstPort: 80, Proto: 17}, // wrong proto
+	}
+	for i, h := range cases {
+		if tn.MatchesWords(h.Words()) {
+			t.Errorf("case %d: header %v should not match", i, h)
+		}
+	}
+}
+
+func TestFiveTupleWildcards(t *testing.T) {
+	ft := FiveTuple{ProtoAny: true}
+	if !ft.Ternary().IsFullWildcard() {
+		t.Error("empty five-tuple with ProtoAny should be full wildcard")
+	}
+	ft2 := FiveTuple{} // proto exact 0
+	if ft2.Ternary().ExactBits() != 8 {
+		t.Errorf("proto-only ternary should have 8 exact bits, got %d", ft2.Ternary().ExactBits())
+	}
+}
+
+func TestDstSrcPrefixTernary(t *testing.T) {
+	d := DstPrefixTernary(0x0A000100, 24)
+	h := Header{DstIP: 0x0A0001FE, SrcIP: 0xFFFFFFFF, SrcPort: 1, DstPort: 2, Proto: 3}
+	if !d.MatchesWords(h.Words()) {
+		t.Error("dst prefix should match")
+	}
+	h.DstIP = 0x0A000200
+	if d.MatchesWords(h.Words()) {
+		t.Error("dst prefix should not match different /24")
+	}
+	s := SrcPrefixTernary(0xC0A80000, 16)
+	h2 := Header{SrcIP: 0xC0A81234}
+	if !s.MatchesWords(h2.Words()) {
+		t.Error("src prefix should match")
+	}
+}
+
+func TestPrefixOverlapSemantics(t *testing.T) {
+	// The paper's Fig. 5 example: src 10.0.0.0/16+dst 11.0.0.0/8 overlaps
+	// src 10.0.0.0/8+dst 11.0.0.0/16.
+	r1 := FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 16, DstIP: 0x0B000000, DstPfxLen: 8, ProtoAny: true}.Ternary()
+	r2 := FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 8, DstIP: 0x0B000000, DstPfxLen: 16, ProtoAny: true}.Ternary()
+	if !r1.Overlaps(r2) {
+		t.Error("fig-5 rules must overlap")
+	}
+	if r1.Subsumes(r2) || r2.Subsumes(r1) {
+		t.Error("neither fig-5 rule subsumes the other")
+	}
+	inter, ok := r1.Intersect(r2)
+	if !ok {
+		t.Fatal("intersection must be non-empty")
+	}
+	want := FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 16, DstIP: 0x0B000000, DstPfxLen: 16, ProtoAny: true}.Ternary()
+	if !inter.Equal(want) {
+		t.Errorf("intersection = %v, want %v", inter, want)
+	}
+}
+
+func TestSampleHeaderMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ft := FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 12, DstIP: 0x0B000000, DstPfxLen: 20, Proto: 17}
+	tn := ft.Ternary()
+	for i := 0; i < 200; i++ {
+		h := SampleHeader(tn, rng)
+		if !tn.MatchesWords(h.Words()) {
+			t.Fatalf("sampled header %v does not match its ternary", h)
+		}
+	}
+}
+
+func TestHeaderWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		h := Header{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Intn(1 << 16)),
+			DstPort: uint16(rng.Intn(1 << 16)),
+			Proto:   uint8(rng.Intn(256)),
+		}
+		// A fully exact ternary built from the header must match it.
+		tn := FiveTuple{
+			SrcIP: h.SrcIP, SrcPfxLen: 32,
+			DstIP: h.DstIP, DstPfxLen: 32,
+			SrcPort: h.SrcPort, SrcExact: true,
+			DstPort: h.DstPort, DstExact: true,
+			Proto: h.Proto,
+		}.Ternary()
+		if !tn.MatchesWords(h.Words()) {
+			t.Fatalf("exact ternary does not match its own header %v", h)
+		}
+		// And it matches exactly one header.
+		if tn.CountMatching() != 1 {
+			t.Fatalf("exact ternary matches %v headers", tn.CountMatching())
+		}
+	}
+}
+
+func TestHeaderString(t *testing.T) {
+	h := Header{SrcIP: 0x0A000001, DstIP: 0x0B000002, SrcPort: 1234, DstPort: 80, Proto: 6}
+	want := "proto=6 10.0.0.1:1234 -> 11.0.0.2:80"
+	if got := h.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

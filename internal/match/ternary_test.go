@@ -1,0 +1,343 @@
+package match
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTernaryRoundTrip(t *testing.T) {
+	cases := []string{"", "0", "1", "*", "01*", "1111", "0000", "*0*1*0*1", "10*01*11*000"}
+	for _, s := range cases {
+		tn, err := ParseTernary(s)
+		if err != nil {
+			t.Fatalf("ParseTernary(%q): %v", s, err)
+		}
+		if got := tn.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+		if tn.Width() != len(s) {
+			t.Errorf("width of %q = %d, want %d", s, tn.Width(), len(s))
+		}
+	}
+}
+
+func TestParseTernaryIgnoresSeparators(t *testing.T) {
+	a := MustParseTernary("10_1* 01")
+	b := MustParseTernary("101*01")
+	if !a.Equal(b) {
+		t.Errorf("separator-insensitive parse failed: %v vs %v", a, b)
+	}
+}
+
+func TestParseTernaryRejectsInvalid(t *testing.T) {
+	if _, err := ParseTernary("01x"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"1", "1", true},
+		{"1", "0", false},
+		{"*", "0", true},
+		{"*", "1", true},
+		{"10*", "1*0", true},  // intersection 100
+		{"10*", "01*", false}, // disagree on top bits
+		{"****", "1111", true},
+		{"110*", "111*", false},
+	}
+	for _, c := range cases {
+		a, b := MustParseTernary(c.a), MustParseTernary(c.b)
+		if got := a.Overlaps(b); got != c.want {
+			t.Errorf("Overlaps(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps(%s, %s) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestOverlapsWidthMismatch(t *testing.T) {
+	a, b := MustParseTernary("1*"), MustParseTernary("1")
+	if a.Overlaps(b) {
+		t.Error("ternaries of different widths must not overlap")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := MustParseTernary("10**")
+	b := MustParseTernary("1**1")
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("expected non-empty intersection")
+	}
+	want := MustParseTernary("10*1")
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if _, ok := MustParseTernary("11").Intersect(MustParseTernary("00")); ok {
+		t.Error("expected empty intersection")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"***", "101", true},
+		{"1**", "101", true},
+		{"101", "101", true},
+		{"101", "1**", false},
+		{"1*1", "111", true},
+		{"1*1", "110", false},
+		{"0**", "1**", false},
+	}
+	for _, c := range cases {
+		a, b := MustParseTernary(c.a), MustParseTernary(c.b)
+		if got := a.Subsumes(b); got != c.want {
+			t.Errorf("Subsumes(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSetBitAndWildcard(t *testing.T) {
+	tn := NewTernary(4)
+	tn = tn.SetBit(0, true).SetBit(3, false)
+	if got := tn.String(); got != "0**1" {
+		t.Errorf("got %q, want 0**1", got)
+	}
+	tn = tn.SetWildcard(0)
+	if got := tn.String(); got != "0***" {
+		t.Errorf("got %q, want 0***", got)
+	}
+}
+
+func TestSetFieldAndPrefix(t *testing.T) {
+	tn := NewTernary(16).SetField(0, 8, 0xA5)
+	for i := 0; i < 8; i++ {
+		care, one := tn.Bit(i)
+		if !care || one != (0xA5>>uint(i)&1 == 1) {
+			t.Fatalf("bit %d wrong: care=%v one=%v", i, care, one)
+		}
+	}
+	// 8-bit field, /4 prefix on value 0b1011_0000: top 4 bits exact.
+	tn = NewTernary(8).SetPrefix(0, 8, 0xB0, 4)
+	if got := tn.String(); got != "1011****" {
+		t.Errorf("prefix ternary = %q, want 1011****", got)
+	}
+	// Zero-length prefix = full wildcard field.
+	tn = NewTernary(8).SetPrefix(0, 8, 0xFF, 0)
+	if !tn.IsFullWildcard() {
+		t.Errorf("zero-length prefix should wildcard field, got %q", tn)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := MustParseTernary("1***")
+	b := MustParseTernary("1*01")
+	parts := a.Subtract(b)
+	// Parts must be disjoint from b, disjoint from each other, and
+	// together with a∩b cover a.
+	for i, p := range parts {
+		if p.Overlaps(b) {
+			t.Errorf("part %d (%v) overlaps subtrahend %v", i, p, b)
+		}
+		if !a.Subsumes(p) {
+			t.Errorf("part %d (%v) not within %v", i, p, a)
+		}
+		for j := i + 1; j < len(parts); j++ {
+			if p.Overlaps(parts[j]) {
+				t.Errorf("parts %d and %d overlap: %v, %v", i, j, p, parts[j])
+			}
+		}
+	}
+	var n float64
+	for _, p := range parts {
+		n += p.CountMatching()
+	}
+	inter, _ := a.Intersect(b)
+	if n+inter.CountMatching() != a.CountMatching() {
+		t.Errorf("subtraction loses headers: parts=%v inter=%v total=%v", n, inter.CountMatching(), a.CountMatching())
+	}
+}
+
+func TestSubtractDisjointAndSubsumed(t *testing.T) {
+	a := MustParseTernary("11**")
+	if parts := a.Subtract(MustParseTernary("00**")); len(parts) != 1 || !parts[0].Equal(a) {
+		t.Errorf("disjoint subtract should return original, got %v", parts)
+	}
+	if parts := a.Subtract(MustParseTernary("****")); len(parts) != 0 {
+		t.Errorf("subsumed subtract should be empty, got %v", parts)
+	}
+}
+
+func TestMatchesWords(t *testing.T) {
+	tn := MustParseTernary("1*0")
+	if !tn.MatchesWords([]uint64{0b100}) || !tn.MatchesWords([]uint64{0b110}) {
+		t.Error("expected matches for 100 and 110")
+	}
+	if tn.MatchesWords([]uint64{0b101}) || tn.MatchesWords([]uint64{0b000}) {
+		t.Error("unexpected matches for 101 / 000")
+	}
+}
+
+func TestWideTernary(t *testing.T) {
+	// Exercise multi-word storage (width > 64).
+	tn := NewTernary(100).SetBit(0, true).SetBit(99, false).SetBit(64, true)
+	care, one := tn.Bit(99)
+	if !care || one {
+		t.Error("bit 99 should be exact 0")
+	}
+	care, one = tn.Bit(64)
+	if !care || !one {
+		t.Error("bit 64 should be exact 1")
+	}
+	if tn.ExactBits() != 3 {
+		t.Errorf("ExactBits = %d, want 3", tn.ExactBits())
+	}
+	o := NewTernary(100).SetBit(64, false)
+	if tn.Overlaps(o) {
+		t.Error("should conflict on bit 64")
+	}
+}
+
+func TestCountMatching(t *testing.T) {
+	if got := MustParseTernary("1*0*").CountMatching(); got != 4 {
+		t.Errorf("CountMatching = %v, want 4", got)
+	}
+	if got := MustParseTernary("11").CountMatching(); got != 1 {
+		t.Errorf("CountMatching = %v, want 1", got)
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	a := MustParseTernary("1*0")
+	b := MustParseTernary("1*1")
+	c := MustParseTernary("1**")
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true}
+	if len(keys) != 3 {
+		t.Errorf("keys collide: %v %v %v", a.Key(), b.Key(), c.Key())
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Error("Key not stable across clone")
+	}
+}
+
+// randomTernary builds a random ternary of the given width for property tests.
+func randomTernary(width int, rng *rand.Rand) Ternary {
+	t := NewTernary(width)
+	for b := 0; b < width; b++ {
+		switch rng.Intn(3) {
+		case 0:
+			t = t.SetBit(b, false)
+		case 1:
+			t = t.SetBit(b, true)
+		}
+	}
+	return t
+}
+
+func TestPropertyOverlapIffSharedHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const width = 10
+	for iter := 0; iter < 500; iter++ {
+		a, b := randomTernary(width, rng), randomTernary(width, rng)
+		shared := false
+		for h := uint64(0); h < 1<<width; h++ {
+			if a.MatchesWords([]uint64{h}) && b.MatchesWords([]uint64{h}) {
+				shared = true
+				break
+			}
+		}
+		if got := a.Overlaps(b); got != shared {
+			t.Fatalf("Overlaps(%v, %v) = %v, exhaustive says %v", a, b, got, shared)
+		}
+	}
+}
+
+func TestPropertyIntersectExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const width = 9
+	for iter := 0; iter < 300; iter++ {
+		a, b := randomTernary(width, rng), randomTernary(width, rng)
+		inter, ok := a.Intersect(b)
+		for h := uint64(0); h < 1<<width; h++ {
+			both := a.MatchesWords([]uint64{h}) && b.MatchesWords([]uint64{h})
+			var ib bool
+			if ok {
+				ib = inter.MatchesWords([]uint64{h})
+			}
+			if both != ib {
+				t.Fatalf("intersect mismatch at header %b: a=%v b=%v inter=%v", h, a, b, inter)
+			}
+		}
+	}
+}
+
+func TestPropertySubsumesViaQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		a := randomTernary(8, r)
+		b := randomTernary(8, r)
+		want := true
+		for h := uint64(0); h < 1<<8; h++ {
+			if b.MatchesWords([]uint64{h}) && !a.MatchesWords([]uint64{h}) {
+				want = false
+				break
+			}
+		}
+		return a.Subsumes(b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubtractPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const width = 9
+	for iter := 0; iter < 200; iter++ {
+		a, b := randomTernary(width, rng), randomTernary(width, rng)
+		parts := a.Subtract(b)
+		for h := uint64(0); h < 1<<width; h++ {
+			want := a.MatchesWords([]uint64{h}) && !b.MatchesWords([]uint64{h})
+			got := 0
+			for _, p := range parts {
+				if p.MatchesWords([]uint64{h}) {
+					got++
+				}
+			}
+			if want && got != 1 {
+				t.Fatalf("header %b should be in exactly one part, in %d (a=%v b=%v)", h, got, a, b)
+			}
+			if !want && got != 0 {
+				t.Fatalf("header %b should be in no part, in %d (a=%v b=%v)", h, got, a, b)
+			}
+		}
+	}
+}
+
+func TestPropertySampleWordsMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 300; iter++ {
+		tn := randomTernary(20, rng)
+		w := SampleWords(tn, rng)
+		if !tn.MatchesWords(w) {
+			t.Fatalf("sampled words %v do not match %v", w, tn)
+		}
+	}
+}
+
+func TestStringWidth(t *testing.T) {
+	tn := NewTernary(5)
+	if got := tn.String(); got != strings.Repeat("*", 5) {
+		t.Errorf("String of wildcard = %q", got)
+	}
+}

@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rulefit/internal/match"
+)
+
+// The synthetic policy generator stands in for ClassBench [27]: it emits
+// prefix-structured 5-tuple firewall policies whose rules cluster around
+// shared address blocks, producing the overlapping PERMIT/DROP structure
+// (and hence rule-dependency edges) that drives the placement problem.
+// Generation is fully deterministic given the seed, so scalability sweeps
+// are repeatable.
+
+// GenConfig parameterizes synthetic policy generation.
+type GenConfig struct {
+	// NumRules is the number of rules in the policy (paper: 20–110).
+	NumRules int
+	// DropFraction is the fraction of DROP rules (default 0.4).
+	DropFraction float64
+	// Clusters is the number of address clusters rules are drawn from;
+	// more clusters means fewer overlaps (default max(2, NumRules/8)).
+	Clusters int
+	// DstPool optionally pins destination clusters to the given base
+	// addresses (e.g. the prefixes assigned to egress ports), so the
+	// rules overlap per-path traffic slices (§IV-C workloads).
+	DstPool []uint32
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// withDefaults fills zero fields with sensible defaults.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.DropFraction == 0 {
+		c.DropFraction = 0.4
+	}
+	if c.Clusters == 0 {
+		c.Clusters = c.NumRules / 8
+		if c.Clusters < 2 {
+			c.Clusters = 2
+		}
+	}
+	return c
+}
+
+// cluster is a shared address neighborhood rules refine.
+type cluster struct {
+	srcBase uint32
+	dstBase uint32
+}
+
+// Generate builds a synthetic prioritized policy for the given ingress.
+func Generate(ingress int, cfg GenConfig) *Policy {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(ingress)*97 + 1))
+
+	clusters := make([]cluster, cfg.Clusters)
+	for i := range clusters {
+		dst := rng.Uint32()
+		if len(cfg.DstPool) > 0 {
+			dst = cfg.DstPool[rng.Intn(len(cfg.DstPool))]
+		}
+		clusters[i] = cluster{srcBase: rng.Uint32(), dstBase: dst}
+	}
+
+	rules := make([]Rule, 0, cfg.NumRules)
+	for i := 0; i < cfg.NumRules; i++ {
+		c := clusters[rng.Intn(len(clusters))]
+		action := Permit
+		if rng.Float64() < cfg.DropFraction {
+			action = Drop
+		}
+		// Higher-priority rules tend to be narrower (longer prefixes) so
+		// that narrow PERMITs sit above wide DROPs — the shape that
+		// creates rule-dependency edges.
+		narrow := i < cfg.NumRules/2
+		rules = append(rules, Rule{
+			Match:    randomClusterMatch(rng, c, narrow),
+			Action:   action,
+			Priority: cfg.NumRules - i,
+		})
+	}
+	p, err := New(ingress, rules)
+	if err != nil {
+		// Construction only fails on duplicate priorities, which the
+		// loop above cannot produce.
+		panic(fmt.Sprintf("policy: generator produced invalid policy: %v", err))
+	}
+	return p
+}
+
+// randomClusterMatch draws a 5-tuple match around a cluster.
+func randomClusterMatch(rng *rand.Rand, c cluster, narrow bool) match.Ternary {
+	srcLen := 8 + rng.Intn(9) // /8 .. /16
+	dstLen := 8 + rng.Intn(9)
+	if narrow {
+		srcLen = 16 + rng.Intn(13) // /16 .. /28
+		dstLen = 16 + rng.Intn(13)
+	}
+	ft := match.FiveTuple{
+		SrcIP:     jitterLow(rng, c.srcBase, srcLen),
+		SrcPfxLen: srcLen,
+		DstIP:     jitterLow(rng, c.dstBase, dstLen),
+		DstPfxLen: dstLen,
+		ProtoAny:  true,
+	}
+	switch rng.Intn(5) {
+	case 0:
+		ft.Proto, ft.ProtoAny = 6, false // TCP
+	case 1:
+		ft.Proto, ft.ProtoAny = 17, false // UDP
+	}
+	if rng.Intn(4) == 0 {
+		ft.DstPort, ft.DstExact = wellKnownPort(rng), true
+	}
+	return ft.Ternary()
+}
+
+// jitterLow randomizes the bits below the prefix length and occasionally
+// nudges bits just inside it, producing sibling prefixes that partially
+// overlap shorter ones from the same cluster.
+func jitterLow(rng *rand.Rand, base uint32, plen int) uint32 {
+	mask := uint32(0xFFFFFFFF)
+	if plen < 32 {
+		mask <<= uint(32 - plen)
+	}
+	v := base & mask
+	if plen >= 12 && rng.Intn(3) == 0 {
+		v ^= 1 << uint(32-plen+rng.Intn(4)) // flip a bit near the boundary
+	}
+	return v
+}
+
+// wellKnownPort picks from a small set of common service ports.
+func wellKnownPort(rng *rand.Rand) uint16 {
+	ports := []uint16{22, 25, 53, 80, 123, 443, 3306, 8080}
+	return ports[rng.Intn(len(ports))]
+}
+
+// GenerateBlacklist builds count identical network-wide DROP rules (the
+// mergeable rules of §IV-B): source-prefix blocks every policy shares.
+func GenerateBlacklist(count int, seed int64) []Rule {
+	rng := rand.New(rand.NewSource(seed*7_919 + 5))
+	rules := make([]Rule, 0, count)
+	for i := 0; i < count; i++ {
+		plen := 16 + rng.Intn(9)
+		ft := match.FiveTuple{
+			SrcIP:     rng.Uint32(),
+			SrcPfxLen: plen,
+			ProtoAny:  true,
+		}
+		rules = append(rules, Rule{Match: ft.Ternary(), Action: Drop})
+	}
+	return rules
+}
+
+// WithBlacklist returns a copy of p with the blacklist rules prepended at
+// the highest priorities (network-wide blocks take precedence). Rule
+// priorities of the blacklist are rewritten relative to p.
+func WithBlacklist(p *Policy, blacklist []Rule) *Policy {
+	out := p.Clone()
+	top := 0
+	if len(out.Rules) > 0 {
+		top = out.Rules[0].Priority
+	}
+	pre := make([]Rule, len(blacklist))
+	for i, r := range blacklist {
+		r.Priority = top + len(blacklist) - i
+		pre[i] = r
+	}
+	out.Rules = append(pre, out.Rules...)
+	return out
+}

@@ -1,0 +1,344 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rulefit/internal/match"
+)
+
+// mk builds a rule from a ternary pattern string.
+func mk(pattern string, a Action, prio int) Rule {
+	return Rule{Match: match.MustParseTernary(pattern), Action: a, Priority: prio}
+}
+
+func TestNewSortsByPriority(t *testing.T) {
+	p, err := New(0, []Rule{
+		mk("0***", Permit, 1),
+		mk("1***", Drop, 3),
+		mk("11**", Permit, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Priority != 3 || p.Rules[1].Priority != 2 || p.Rules[2].Priority != 1 {
+		t.Errorf("rules not sorted: %v", p.Rules)
+	}
+}
+
+func TestNewRejectsDuplicatePriorities(t *testing.T) {
+	_, err := New(0, []Rule{mk("1*", Permit, 1), mk("0*", Drop, 1)})
+	if !errors.Is(err, ErrDuplicatePriority) {
+		t.Errorf("err = %v, want ErrDuplicatePriority", err)
+	}
+}
+
+func TestNewRejectsBadAction(t *testing.T) {
+	_, err := New(0, []Rule{{Match: match.MustParseTernary("1*"), Priority: 1}})
+	if !errors.Is(err, ErrBadAction) {
+		t.Errorf("err = %v, want ErrBadAction", err)
+	}
+}
+
+func TestNewRejectsWidthMismatch(t *testing.T) {
+	_, err := New(0, []Rule{mk("1*", Permit, 2), mk("1**", Drop, 1)})
+	if !errors.Is(err, ErrWidthMismatch) {
+		t.Errorf("err = %v, want ErrWidthMismatch", err)
+	}
+}
+
+func TestEvaluateFirstMatchWins(t *testing.T) {
+	p := MustNew(0, []Rule{
+		mk("11**", Permit, 3),
+		mk("1***", Drop, 2),
+		mk("****", Permit, 1),
+	})
+	cases := []struct {
+		header uint64
+		want   Action
+	}{
+		{0b1100, Permit}, // hits 11**
+		{0b1000, Drop},   // hits 1***
+		{0b0000, Permit}, // hits ****
+	}
+	for _, c := range cases {
+		if got := p.Evaluate([]uint64{c.header}); got != c.want {
+			t.Errorf("Evaluate(%04b) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+func TestEvaluateDefault(t *testing.T) {
+	p := MustNew(0, []Rule{mk("1111", Drop, 1)})
+	if got := p.Evaluate([]uint64{0}); got != Permit {
+		t.Errorf("default = %v, want Permit", got)
+	}
+	p.Default = Drop
+	if got := p.Evaluate([]uint64{0}); got != Drop {
+		t.Errorf("default = %v, want Drop", got)
+	}
+}
+
+func TestMatchIndex(t *testing.T) {
+	p := MustNew(0, []Rule{mk("11**", Permit, 2), mk("1***", Drop, 1)})
+	if got := p.MatchIndex([]uint64{0b1100}); got != 0 {
+		t.Errorf("MatchIndex = %d, want 0", got)
+	}
+	if got := p.MatchIndex([]uint64{0b1000}); got != 1 {
+		t.Errorf("MatchIndex = %d, want 1", got)
+	}
+	if got := p.MatchIndex([]uint64{0b0000}); got != -1 {
+		t.Errorf("MatchIndex = %d, want -1", got)
+	}
+}
+
+func TestDropRules(t *testing.T) {
+	p := MustNew(0, []Rule{
+		mk("11**", Permit, 3),
+		mk("1***", Drop, 2),
+		mk("0***", Drop, 1),
+	})
+	got := p.DropRules()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("DropRules = %v, want [1 2]", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := MustNew(3, []Rule{mk("1*", Drop, 1)})
+	c := p.Clone()
+	c.Rules[0].Priority = 99
+	c.Ingress = 7
+	if p.Rules[0].Priority != 1 || p.Ingress != 3 {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestRemoveRedundantShadowed(t *testing.T) {
+	// The low-priority drop is fully shadowed by the rules above it;
+	// the other two rules are both load-bearing.
+	p := MustNew(0, []Rule{
+		mk("11**", Permit, 3),
+		mk("1***", Drop, 2),
+		mk("11**", Drop, 1), // shadowed by the permit above
+	})
+	out, n := RemoveRedundant(p)
+	if n != 1 || len(out.Rules) != 2 {
+		t.Fatalf("removed %d rules, got %d left; want 1 removed", n, len(out.Rules))
+	}
+	assertEquivalentExhaustive(t, p, out, 4)
+}
+
+func TestRemoveRedundantDownward(t *testing.T) {
+	// The drop rule's decision matches what the wider drop below gives.
+	p := MustNew(0, []Rule{
+		mk("11**", Drop, 2),
+		mk("1***", Drop, 1),
+	})
+	out, n := RemoveRedundant(p)
+	if n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	assertEquivalentExhaustive(t, p, out, 4)
+}
+
+func TestRemoveRedundantDefaultFallthrough(t *testing.T) {
+	// Permit rule above default-permit is redundant.
+	p := MustNew(0, []Rule{mk("10**", Permit, 1)})
+	out, n := RemoveRedundant(p)
+	if n != 1 || len(out.Rules) != 0 {
+		t.Fatalf("removed %d, want 1 (permit matching default)", n)
+	}
+	assertEquivalentExhaustive(t, p, out, 4)
+}
+
+func TestRemoveRedundantKeepsNeededRules(t *testing.T) {
+	p := MustNew(0, []Rule{
+		mk("11**", Permit, 2), // carves a permit hole out of the drop
+		mk("1***", Drop, 1),
+	})
+	out, n := RemoveRedundant(p)
+	if n != 0 || len(out.Rules) != 2 {
+		t.Fatalf("removed %d rules, want 0", n)
+	}
+}
+
+func TestRemoveRedundantPartialShadowNotRemoved(t *testing.T) {
+	// Drop 1*** is partially shadowed by permit 11** but still needed
+	// for 10** headers.
+	p := MustNew(0, []Rule{
+		mk("11**", Permit, 2),
+		mk("1***", Drop, 1),
+	})
+	_, n := RemoveRedundant(p)
+	if n != 0 {
+		t.Fatalf("removed %d, want 0", n)
+	}
+}
+
+// assertEquivalentExhaustive checks a == b on every header of the width.
+func assertEquivalentExhaustive(t *testing.T, a, b *Policy, width int) {
+	t.Helper()
+	for h := uint64(0); h < 1<<uint(width); h++ {
+		if ga, gb := a.Evaluate([]uint64{h}), b.Evaluate([]uint64{h}); ga != gb {
+			t.Fatalf("policies disagree at %0*b: %v vs %v", width, h, ga, gb)
+		}
+	}
+}
+
+func TestRemoveRedundantPropertyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const width = 8
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(8)
+		rules := make([]Rule, 0, n)
+		for i := 0; i < n; i++ {
+			tn := match.NewTernary(width)
+			for b := 0; b < width; b++ {
+				switch rng.Intn(3) {
+				case 0:
+					tn = tn.SetBit(b, false)
+				case 1:
+					tn = tn.SetBit(b, true)
+				}
+			}
+			a := Permit
+			if rng.Intn(2) == 0 {
+				a = Drop
+			}
+			rules = append(rules, Rule{Match: tn, Action: a, Priority: n - i})
+		}
+		p := MustNew(0, rules)
+		out, _ := RemoveRedundant(p)
+		assertEquivalentExhaustive(t, p, out, width)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(4, GenConfig{NumRules: 40, Seed: 9})
+	b := Generate(4, GenConfig{NumRules: 40, Seed: 9})
+	if len(a.Rules) != 40 || len(b.Rules) != 40 {
+		t.Fatalf("rule counts: %d, %d", len(a.Rules), len(b.Rules))
+	}
+	for i := range a.Rules {
+		if !a.Rules[i].Match.Equal(b.Rules[i].Match) || a.Rules[i].Action != b.Rules[i].Action {
+			t.Fatalf("rule %d differs between identical seeds", i)
+		}
+	}
+	c := Generate(4, GenConfig{NumRules: 40, Seed: 10})
+	same := true
+	for i := range a.Rules {
+		if !a.Rules[i].Match.Equal(c.Rules[i].Match) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical policies")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	p := Generate(0, GenConfig{NumRules: 80, Seed: 3})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	drops, permits := 0, 0
+	for _, r := range p.Rules {
+		if r.Action == Drop {
+			drops++
+		} else {
+			permits++
+		}
+	}
+	if drops == 0 || permits == 0 {
+		t.Errorf("degenerate action mix: %d drops, %d permits", drops, permits)
+	}
+	// The generator must produce permit-over-drop overlaps (dependencies).
+	deps := 0
+	for w, rw := range p.Rules {
+		if rw.Action != Drop {
+			continue
+		}
+		for u := 0; u < w; u++ {
+			if p.Rules[u].Action == Permit && p.Rules[u].Match.Overlaps(rw.Match) {
+				deps++
+			}
+		}
+	}
+	if deps == 0 {
+		t.Error("generator produced no permit-over-drop dependencies")
+	}
+}
+
+func TestGenerateWidths(t *testing.T) {
+	p := Generate(1, GenConfig{NumRules: 10, Seed: 1})
+	if p.Width() != match.HeaderWidth {
+		t.Errorf("width = %d, want %d", p.Width(), match.HeaderWidth)
+	}
+}
+
+func TestBlacklist(t *testing.T) {
+	bl := GenerateBlacklist(5, 2)
+	if len(bl) != 5 {
+		t.Fatalf("len = %d", len(bl))
+	}
+	for i, r := range bl {
+		if r.Action != Drop {
+			t.Errorf("blacklist rule %d is %v, want DROP", i, r.Action)
+		}
+	}
+	// Identical across calls with the same seed (mergeable by design).
+	bl2 := GenerateBlacklist(5, 2)
+	for i := range bl {
+		if !bl[i].Match.Equal(bl2[i].Match) {
+			t.Errorf("blacklist rule %d not deterministic", i)
+		}
+	}
+
+	p := Generate(0, GenConfig{NumRules: 10, Seed: 5})
+	withBL := WithBlacklist(p, bl)
+	if err := withBL.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(withBL.Rules) != 15 {
+		t.Fatalf("combined rules = %d, want 15", len(withBL.Rules))
+	}
+	// Blacklist must sit at the top priorities.
+	for i := 0; i < 5; i++ {
+		if !withBL.Rules[i].Match.Equal(bl[i].Match) {
+			t.Errorf("rule %d is not blacklist rule %d", i, i)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Permit.String() != "PERMIT" || Drop.String() != "DROP" {
+		t.Error("action strings wrong")
+	}
+	if Action(0).String() != "Action(0)" {
+		t.Error("unknown action string wrong")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	p := MustNew(2, []Rule{mk("1*", Drop, 1)})
+	s := p.String()
+	if s == "" || p.Rules[0].String() == "" {
+		t.Error("empty String output")
+	}
+}
+
+func TestEquivalentHelper(t *testing.T) {
+	a := MustNew(0, []Rule{mk("1***", Drop, 1)})
+	b := MustNew(0, []Rule{mk("1***", Drop, 1)})
+	c := MustNew(0, []Rule{mk("0***", Drop, 1)})
+	headers := [][]uint64{{0b1000}, {0b0000}, {0b1111}}
+	if !Equivalent(a, b, headers) {
+		t.Error("identical policies reported non-equivalent")
+	}
+	if Equivalent(a, c, headers) {
+		t.Error("different policies reported equivalent")
+	}
+}

@@ -1,0 +1,114 @@
+package policy
+
+import "rulefit/internal/match"
+
+// Redundancy removal implements the optional first stage of the paper's
+// flow chart (Fig. 4), in the spirit of all-match based complete
+// redundancy removal [Liu et al.]: a rule is removed when deleting it
+// cannot change the policy's decision for any header.
+//
+// Two forms are detected:
+//
+//   - upward redundancy: the rule is fully shadowed by higher-priority
+//     rules and can never be the first match;
+//   - downward redundancy: for every header on which the rule is the
+//     first match, the rules below it (or the default) yield the same
+//     decision anyway.
+//
+// The region analysis works on lists of disjoint ternaries produced by
+// Subtract. A work budget bounds the region fragmentation; when exceeded
+// the rule is conservatively kept, so removal is always sound.
+
+// defaultRedundancyBudget caps the number of region fragments examined per
+// rule before conservatively keeping it.
+const defaultRedundancyBudget = 4096
+
+// RemoveRedundant returns a copy of p with redundant rules removed, along
+// with the number of rules eliminated. The result is semantically
+// equivalent to p.
+func RemoveRedundant(p *Policy) (*Policy, int) {
+	out := p.Clone()
+	removed := 0
+	// Iterate until fixpoint: removing one rule can expose another.
+	for {
+		idx := findRedundant(out)
+		if idx < 0 {
+			return out, removed
+		}
+		out.Rules = append(out.Rules[:idx], out.Rules[idx+1:]...)
+		removed++
+	}
+}
+
+// findRedundant returns the index of some redundant rule, or -1.
+func findRedundant(p *Policy) int {
+	for j := range p.Rules {
+		if isRedundant(p, j) {
+			return j
+		}
+	}
+	return -1
+}
+
+// isRedundant reports whether rule j of p can be removed without changing
+// any decision.
+func isRedundant(p *Policy, j int) bool {
+	budget := defaultRedundancyBudget
+	// Residual: the headers on which rule j is the first match.
+	residual := []match.Ternary{p.Rules[j].Match}
+	for u := 0; u < j && len(residual) > 0; u++ {
+		var next []match.Ternary
+		for _, piece := range residual {
+			parts := piece.Subtract(p.Rules[u].Match)
+			budget -= len(parts)
+			if budget < 0 {
+				return false // fragmentation too high; keep the rule
+			}
+			next = append(next, parts...)
+		}
+		residual = next
+	}
+	if len(residual) == 0 {
+		return true // upward-redundant: never the first match
+	}
+	// Downward: all residual headers must get the same action from the
+	// rules below j (or the default).
+	want := p.Rules[j].Action
+	for _, piece := range residual {
+		if !uniformDecision(p, j+1, piece, want, &budget) {
+			return false
+		}
+	}
+	return true
+}
+
+// uniformDecision reports whether every header in region gets decision
+// want from rules p.Rules[from:] (falling through to p.Default).
+func uniformDecision(p *Policy, from int, region match.Ternary, want Action, budget *int) bool {
+	for u := from; u < len(p.Rules); u++ {
+		m := p.Rules[u].Match
+		if !region.Overlaps(m) {
+			continue
+		}
+		if m.Subsumes(region) {
+			return p.Rules[u].Action == want
+		}
+		// Split: the part inside rule u gets its action; the parts
+		// outside continue down the list.
+		if p.Rules[u].Action != want {
+			return false
+		}
+		parts := region.Subtract(m)
+		*budget -= len(parts)
+		if *budget < 0 {
+			return false
+		}
+		for _, part := range parts {
+			if !uniformDecision(p, u+1, part, want, budget) {
+				return false
+			}
+		}
+		return true
+	}
+	return p.Default == want
+}

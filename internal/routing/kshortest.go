@@ -1,0 +1,176 @@
+package routing
+
+import (
+	"sort"
+
+	"rulefit/internal/topology"
+)
+
+// KShortestPaths returns up to k loopless shortest paths between two
+// switches in increasing length order (Yen's algorithm over unit-weight
+// links). It backs multipath routing setups where an ingress spreads
+// its flows over several routes — the situation that makes the paper's
+// per-path placement constraints interesting.
+func KShortestPaths(n *topology.Network, from, to topology.SwitchID, k int) ([][]topology.SwitchID, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	first, err := ShortestPath(n, from, to)
+	if err != nil {
+		return nil, err
+	}
+	paths := [][]topology.SwitchID{first}
+	var candidates [][]topology.SwitchID
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// For each spur node of the previous path, search a deviation.
+		for i := 0; i < len(prev)-1; i++ {
+			spur := prev[i]
+			rootPath := prev[:i+1]
+
+			// Edges leaving the spur node used by any accepted path
+			// sharing the same root are banned; so are the root's nodes
+			// (except the spur) to keep paths loopless.
+			bannedEdges := make(map[[2]topology.SwitchID]bool)
+			for _, p := range paths {
+				if len(p) > i && equalPrefix(p, rootPath) {
+					bannedEdges[[2]topology.SwitchID{p[i], p[i+1]}] = true
+				}
+			}
+			bannedNodes := make(map[topology.SwitchID]bool)
+			for _, s := range rootPath[:len(rootPath)-1] {
+				bannedNodes[s] = true
+			}
+
+			spurPath := constrainedShortest(n, spur, to, bannedNodes, bannedEdges)
+			if spurPath == nil {
+				continue
+			}
+			full := append(append([]topology.SwitchID(nil), rootPath[:len(rootPath)-1]...), spurPath...)
+			if !containsPath(paths, full) && !containsPath(candidates, full) {
+				candidates = append(candidates, full)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			if len(candidates[a]) != len(candidates[b]) {
+				return len(candidates[a]) < len(candidates[b])
+			}
+			return lessPath(candidates[a], candidates[b])
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+// constrainedShortest runs BFS from src to dst avoiding banned nodes and
+// banned first-hop edges out of src. Returns nil when unreachable.
+func constrainedShortest(n *topology.Network, src, dst topology.SwitchID, bannedNodes map[topology.SwitchID]bool, bannedEdges map[[2]topology.SwitchID]bool) []topology.SwitchID {
+	if src == dst {
+		return []topology.SwitchID{src}
+	}
+	prev := map[topology.SwitchID]topology.SwitchID{src: src}
+	queue := []topology.SwitchID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.Neighbors(cur) {
+			if bannedNodes[nb] {
+				continue
+			}
+			if cur == src && bannedEdges[[2]topology.SwitchID{src, nb}] {
+				continue
+			}
+			if _, seen := prev[nb]; seen {
+				continue
+			}
+			prev[nb] = cur
+			if nb == dst {
+				// Reconstruct.
+				var rev []topology.SwitchID
+				for x := dst; x != src; x = prev[x] {
+					rev = append(rev, x)
+				}
+				rev = append(rev, src)
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// equalPrefix reports whether p starts with the given prefix.
+func equalPrefix(p, prefix []topology.SwitchID) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// containsPath reports whether the set already holds an identical path.
+func containsPath(set [][]topology.SwitchID, p []topology.SwitchID) bool {
+	for _, q := range set {
+		if len(q) != len(p) {
+			continue
+		}
+		same := true
+		for i := range q {
+			if q[i] != p[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// lessPath orders equal-length paths lexicographically for determinism.
+func lessPath(a, b []topology.SwitchID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// BuildMultipathRouting routes each pair over up to k loopless shortest
+// paths, modelling an ECMP-style routing module that spreads one
+// ingress's flows across several routes.
+func BuildMultipathRouting(n *topology.Network, pairs []PortPair, k int) (*Routing, error) {
+	r := NewRouting()
+	for _, pair := range pairs {
+		in, ok := n.Port(pair.In)
+		if !ok || !in.Ingress {
+			return nil, errBadIngress(pair.In)
+		}
+		out, ok := n.Port(pair.Out)
+		if !ok || !out.Egress {
+			return nil, errBadEgress(pair.Out)
+		}
+		paths, err := KShortestPaths(n, in.Switch, out.Switch, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, sw := range paths {
+			r.Add(Path{Ingress: pair.In, Egress: pair.Out, Switches: sw})
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,294 @@
+// Package routing produces the path sets P_i the placement problem takes
+// as input. The paper assumes routing comes from an external module
+// (§III); this package implements the concrete stand-in used by the
+// evaluation — deterministic randomized shortest-path routing — plus
+// per-path traffic slices (§IV-C) and the loc() hop-distance function
+// used by the traffic-weighted objective.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"rulefit/internal/match"
+	"rulefit/internal/topology"
+)
+
+// Path is one route p_{i,j}: the ordered switches a flow traverses from
+// an ingress port to an egress port.
+type Path struct {
+	Ingress  topology.PortID
+	Egress   topology.PortID
+	Switches []topology.SwitchID
+	// Traffic optionally restricts the packets following this path (the
+	// per-route flow space of §IV-C). HasTraffic distinguishes "all
+	// packets" from a real slice.
+	Traffic    match.Ternary
+	HasTraffic bool
+}
+
+// Loc returns the hop distance of switch s from the path's ingress
+// (0 for the ingress switch), or -1 if s is not on the path. This is the
+// loc(s_k, P_i) function of the paper's traffic objective.
+func (p Path) Loc(s topology.SwitchID) int {
+	for i, sw := range p.Switches {
+		if sw == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the path traverses switch s.
+func (p Path) Contains(s topology.SwitchID) bool { return p.Loc(s) >= 0 }
+
+// String renders the path.
+func (p Path) String() string {
+	return fmt.Sprintf("l%d->l%d via %v", p.Ingress, p.Egress, p.Switches)
+}
+
+// PathSet is P_i: all paths originating at one ingress port.
+type PathSet struct {
+	Ingress topology.PortID
+	Paths   []Path
+}
+
+// Switches returns S_i, the sorted union of switches over all paths.
+func (ps *PathSet) Switches() []topology.SwitchID {
+	seen := make(map[topology.SwitchID]bool)
+	for _, p := range ps.Paths {
+		for _, s := range p.Switches {
+			seen[s] = true
+		}
+	}
+	out := make([]topology.SwitchID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// MinLoc returns the minimum hop distance of s from the ingress over the
+// paths that traverse it, or -1 if no path does. Used as loc(s_k, P_i).
+func (ps *PathSet) MinLoc(s topology.SwitchID) int {
+	best := -1
+	for _, p := range ps.Paths {
+		if l := p.Loc(s); l >= 0 && (best == -1 || l < best) {
+			best = l
+		}
+	}
+	return best
+}
+
+// Routing is the full routing policy: one path set per ingress port.
+type Routing struct {
+	// Sets maps each ingress port to its path set; iterate via Ingresses
+	// for deterministic order.
+	Sets map[topology.PortID]*PathSet
+}
+
+// NewRouting returns an empty routing policy.
+func NewRouting() *Routing {
+	return &Routing{Sets: make(map[topology.PortID]*PathSet)}
+}
+
+// Add appends a path to its ingress's path set.
+func (r *Routing) Add(p Path) {
+	ps, ok := r.Sets[p.Ingress]
+	if !ok {
+		ps = &PathSet{Ingress: p.Ingress}
+		r.Sets[p.Ingress] = ps
+	}
+	ps.Paths = append(ps.Paths, p)
+}
+
+// Ingresses returns the ingress ports with at least one path, sorted.
+func (r *Routing) Ingresses() []topology.PortID {
+	out := make([]topology.PortID, 0, len(r.Sets))
+	for id := range r.Sets {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// NumPaths returns the total number of paths across all ingresses.
+func (r *Routing) NumPaths() int {
+	n := 0
+	for _, ps := range r.Sets {
+		n += len(ps.Paths)
+	}
+	return n
+}
+
+// ErrNoPath is returned when two switches are not connected.
+var ErrNoPath = errors.New("routing: no path between switches")
+
+// errBadIngress and errBadEgress report port misuse.
+func errBadIngress(id topology.PortID) error {
+	return fmt.Errorf("routing: port %d is not an ingress", id)
+}
+
+func errBadEgress(id topology.PortID) error {
+	return fmt.Errorf("routing: port %d is not an egress", id)
+}
+
+// ShortestPath returns a BFS shortest path between two switches,
+// inclusive of both endpoints, breaking ties deterministically by the
+// lowest neighbor ID.
+func ShortestPath(n *topology.Network, from, to topology.SwitchID) ([]topology.SwitchID, error) {
+	return shortestPath(n, from, to, nil)
+}
+
+// RandomShortestPath returns a shortest path with ties broken uniformly
+// at random from rng; this is the "randomly generated shortest-path
+// routing" of the paper's evaluation.
+func RandomShortestPath(n *topology.Network, from, to topology.SwitchID, rng *rand.Rand) ([]topology.SwitchID, error) {
+	return shortestPath(n, from, to, rng)
+}
+
+func shortestPath(n *topology.Network, from, to topology.SwitchID, rng *rand.Rand) ([]topology.SwitchID, error) {
+	if from == to {
+		return []topology.SwitchID{from}, nil
+	}
+	// BFS distances from the destination so the forward walk can step
+	// along any descending-distance neighbor.
+	dist := map[topology.SwitchID]int{to: 0}
+	queue := []topology.SwitchID{to}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.Neighbors(cur) {
+			if _, ok := dist[nb]; !ok {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	d, ok := dist[from]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoPath, from, to)
+	}
+	path := make([]topology.SwitchID, 0, d+1)
+	path = append(path, from)
+	cur := from
+	for cur != to {
+		var candidates []topology.SwitchID
+		for _, nb := range n.Neighbors(cur) {
+			if dd, ok := dist[nb]; ok && dd == dist[cur]-1 {
+				candidates = append(candidates, nb)
+			}
+		}
+		// Neighbors() is sorted, so candidates are deterministic.
+		next := candidates[0]
+		if rng != nil {
+			next = candidates[rng.Intn(len(candidates))]
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, nil
+}
+
+// PortPair names an ingress/egress pair to route.
+type PortPair struct {
+	In  topology.PortID
+	Out topology.PortID
+}
+
+// BuildRouting routes each pair along a random shortest path (seeded) and
+// groups the results per ingress. Ports must exist; ingress must be an
+// ingress port and egress an egress port.
+func BuildRouting(n *topology.Network, pairs []PortPair, seed int64) (*Routing, error) {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRouting()
+	for _, pair := range pairs {
+		in, ok := n.Port(pair.In)
+		if !ok || !in.Ingress {
+			return nil, fmt.Errorf("routing: port %d is not an ingress", pair.In)
+		}
+		out, ok := n.Port(pair.Out)
+		if !ok || !out.Egress {
+			return nil, fmt.Errorf("routing: port %d is not an egress", pair.Out)
+		}
+		sw, err := RandomShortestPath(n, in.Switch, out.Switch, rng)
+		if err != nil {
+			return nil, err
+		}
+		r.Add(Path{Ingress: pair.In, Egress: pair.Out, Switches: sw})
+	}
+	return r, nil
+}
+
+// RandomPairs draws count ingress/egress pairs uniformly (with distinct
+// attachment switches when possible), deterministically from seed.
+func RandomPairs(n *topology.Network, count int, seed int64) ([]PortPair, error) {
+	ins := n.IngressPorts()
+	outs := n.EgressPorts()
+	if len(ins) == 0 || len(outs) == 0 {
+		return nil, errors.New("routing: network has no ingress or egress ports")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]PortPair, 0, count)
+	for len(pairs) < count {
+		in := ins[rng.Intn(len(ins))]
+		out := outs[rng.Intn(len(outs))]
+		if in.Switch == out.Switch && (len(ins) > 1 || len(outs) > 1) {
+			continue
+		}
+		pairs = append(pairs, PortPair{In: in.ID, Out: out.ID})
+	}
+	return pairs, nil
+}
+
+// SpreadPairs deterministically assigns paths across ingresses as evenly
+// as possible: pathsPerIngress paths from each of the first numIngresses
+// ingress ports to round-robin egresses. It mirrors the evaluation setup
+// where the path count p is swept while policies stay per-ingress.
+func SpreadPairs(n *topology.Network, numIngresses, pathsPerIngress int, seed int64) ([]PortPair, error) {
+	ins := n.IngressPorts()
+	outs := n.EgressPorts()
+	if len(ins) == 0 || len(outs) == 0 {
+		return nil, errors.New("routing: network has no ingress or egress ports")
+	}
+	if numIngresses > len(ins) {
+		numIngresses = len(ins)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pairs []PortPair
+	for i := 0; i < numIngresses; i++ {
+		in := ins[i]
+		for j := 0; j < pathsPerIngress; j++ {
+			out := outs[rng.Intn(len(outs))]
+			for out.Switch == in.Switch && len(outs) > 1 {
+				out = outs[rng.Intn(len(outs))]
+			}
+			pairs = append(pairs, PortPair{In: in.ID, Out: out.ID})
+		}
+	}
+	return pairs, nil
+}
+
+// AssignTrafficSlices gives every path in r a destination-prefix traffic
+// slice derived from its egress port: egress e receives prefix
+// 10.x.y.0/24 with x.y encoding e. This matches the §IV-C model where
+// the routing library knows which flows follow each route.
+func AssignTrafficSlices(r *Routing) {
+	for _, ps := range r.Sets {
+		for i := range ps.Paths {
+			e := uint32(ps.Paths[i].Egress)
+			ip := 0x0A000000 | (e&0xFFFF)<<8
+			ps.Paths[i].Traffic = match.DstPrefixTernary(ip, 24)
+			ps.Paths[i].HasTraffic = true
+		}
+	}
+}
+
+// EgressPrefix returns the destination prefix assigned to an egress port
+// by AssignTrafficSlices, for generating test traffic.
+func EgressPrefix(e topology.PortID) (ip uint32, plen int) {
+	return 0x0A000000 | (uint32(e)&0xFFFF)<<8, 24
+}

@@ -1,0 +1,425 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rulefit/internal/topology"
+)
+
+func TestShortestPathLinear(t *testing.T) {
+	n, err := topology.Linear(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ShortestPath(n, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 {
+		t.Errorf("path length = %d, want 5", len(p))
+	}
+	for i, s := range p {
+		if s != topology.SwitchID(i) {
+			t.Errorf("path[%d] = %d, want %d", i, s, i)
+		}
+	}
+}
+
+func TestShortestPathSame(t *testing.T) {
+	n, err := topology.Linear(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ShortestPath(n, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || p[0] != 1 {
+		t.Errorf("path = %v", p)
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	n := topology.NewNetwork()
+	for i := 1; i <= 2; i++ {
+		if err := n.AddSwitch(topology.Switch{ID: topology.SwitchID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ShortestPath(n, 1, 2); !errors.Is(err, ErrNoPath) {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathIsShortest(t *testing.T) {
+	// Ring of 6: distance from 0 to 3 is 3 either way; to 2 is 2.
+	n, err := topology.Ring(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ShortestPath(n, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Errorf("path %v has length %d, want 3 nodes", p, len(p))
+	}
+}
+
+func TestRandomShortestPathValidAndVaries(t *testing.T) {
+	n, err := topology.FatTree(4, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := n.Ports()
+	from, to := ports[0].Switch, ports[len(ports)-1].Switch
+	ref, err := ShortestPath(n, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		p, err := RandomShortestPath(n, from, to, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p) != len(ref) {
+			t.Fatalf("random path %v not shortest (len %d vs %d)", p, len(p), len(ref))
+		}
+		if p[0] != from || p[len(p)-1] != to {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		// Consecutive switches must be adjacent.
+		for j := 1; j < len(p); j++ {
+			adjacent := false
+			for _, nb := range n.Neighbors(p[j-1]) {
+				if nb == p[j] {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				t.Fatalf("path %v has non-adjacent step %d", p, j)
+			}
+		}
+		key := ""
+		for _, s := range p {
+			key += string(rune(s)) + ","
+		}
+		seen[key] = true
+	}
+	if len(seen) < 2 {
+		t.Error("random tie-breaking never produced distinct shortest paths in a fat-tree")
+	}
+}
+
+func TestPathLocAndContains(t *testing.T) {
+	p := Path{Switches: []topology.SwitchID{4, 7, 9}}
+	if p.Loc(4) != 0 || p.Loc(7) != 1 || p.Loc(9) != 2 {
+		t.Error("Loc wrong")
+	}
+	if p.Loc(5) != -1 || p.Contains(5) {
+		t.Error("missing switch misreported")
+	}
+	if !p.Contains(9) {
+		t.Error("Contains(9) = false")
+	}
+}
+
+func TestPathSetSwitchesAndMinLoc(t *testing.T) {
+	ps := &PathSet{Ingress: 1, Paths: []Path{
+		{Switches: []topology.SwitchID{1, 2, 3}},
+		{Switches: []topology.SwitchID{1, 2, 4, 5}},
+	}}
+	got := ps.Switches()
+	want := []topology.SwitchID{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("S_i = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("S_i = %v, want %v", got, want)
+		}
+	}
+	if ps.MinLoc(2) != 1 || ps.MinLoc(5) != 3 || ps.MinLoc(99) != -1 {
+		t.Error("MinLoc wrong")
+	}
+}
+
+func TestRoutingAddAndIngresses(t *testing.T) {
+	r := NewRouting()
+	r.Add(Path{Ingress: 3, Switches: []topology.SwitchID{1}})
+	r.Add(Path{Ingress: 1, Switches: []topology.SwitchID{2}})
+	r.Add(Path{Ingress: 3, Switches: []topology.SwitchID{1, 2}})
+	ing := r.Ingresses()
+	if len(ing) != 2 || ing[0] != 1 || ing[1] != 3 {
+		t.Errorf("Ingresses = %v", ing)
+	}
+	if r.NumPaths() != 3 {
+		t.Errorf("NumPaths = %d", r.NumPaths())
+	}
+	if len(r.Sets[3].Paths) != 2 {
+		t.Errorf("ingress 3 paths = %d", len(r.Sets[3].Paths))
+	}
+}
+
+func TestBuildRoutingFig3(t *testing.T) {
+	n := topology.Fig3(100)
+	r, err := BuildRouting(n, []PortPair{{In: 1, Out: 2}, {In: 1, Out: 3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := r.Sets[1]
+	if ps == nil || len(ps.Paths) != 2 {
+		t.Fatalf("expected 2 paths from ingress 1, got %+v", r.Sets)
+	}
+	// Paper routes: s1-s2-s3 and s1-s2-s4-s5.
+	for _, p := range ps.Paths {
+		if p.Switches[0] != 1 {
+			t.Errorf("path %v does not start at s1", p)
+		}
+		switch p.Egress {
+		case 2:
+			if len(p.Switches) != 3 || p.Switches[2] != 3 {
+				t.Errorf("path to l2 = %v, want s1-s2-s3", p.Switches)
+			}
+		case 3:
+			if len(p.Switches) != 4 || p.Switches[3] != 5 {
+				t.Errorf("path to l3 = %v, want s1-s2-s4-s5", p.Switches)
+			}
+		}
+	}
+}
+
+func TestBuildRoutingRejectsBadPorts(t *testing.T) {
+	n := topology.Fig3(100)
+	if _, err := BuildRouting(n, []PortPair{{In: 2, Out: 3}}, 1); err == nil {
+		t.Error("egress used as ingress should fail")
+	}
+	if _, err := BuildRouting(n, []PortPair{{In: 1, Out: 1}}, 1); err == nil {
+		t.Error("ingress used as egress should fail")
+	}
+	if _, err := BuildRouting(n, []PortPair{{In: 99, Out: 2}}, 1); err == nil {
+		t.Error("unknown port should fail")
+	}
+}
+
+func TestRandomPairsDeterministic(t *testing.T) {
+	n, err := topology.FatTree(4, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RandomPairs(n, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomPairs(n, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 30 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestRandomPairsNoPorts(t *testing.T) {
+	n := topology.NewNetwork()
+	if err := n.AddSwitch(topology.Switch{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RandomPairs(n, 5, 1); err == nil {
+		t.Error("expected error with no ports")
+	}
+}
+
+func TestSpreadPairs(t *testing.T) {
+	n, err := topology.FatTree(4, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := SpreadPairs(n, 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 32 {
+		t.Fatalf("pairs = %d, want 32", len(pairs))
+	}
+	perIngress := map[topology.PortID]int{}
+	for _, p := range pairs {
+		perIngress[p.In]++
+	}
+	if len(perIngress) != 4 {
+		t.Errorf("ingress spread = %v", perIngress)
+	}
+	for in, c := range perIngress {
+		if c != 8 {
+			t.Errorf("ingress %d has %d paths, want 8", in, c)
+		}
+	}
+}
+
+func TestAssignTrafficSlices(t *testing.T) {
+	n := topology.Fig3(100)
+	r, err := BuildRouting(n, []PortPair{{In: 1, Out: 2}, {In: 1, Out: 3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AssignTrafficSlices(r)
+	for _, p := range r.Sets[1].Paths {
+		if !p.HasTraffic {
+			t.Fatalf("path %v has no traffic slice", p)
+		}
+		if p.Traffic.IsFullWildcard() {
+			t.Errorf("traffic slice for %v is unconstrained", p)
+		}
+	}
+	// Slices of different egresses must be disjoint.
+	a, b := r.Sets[1].Paths[0], r.Sets[1].Paths[1]
+	if a.Egress != b.Egress && a.Traffic.Overlaps(b.Traffic) {
+		t.Error("distinct egress slices overlap")
+	}
+}
+
+func TestEgressPrefixMatchesSlices(t *testing.T) {
+	ip, plen := EgressPrefix(7)
+	if plen != 24 {
+		t.Errorf("plen = %d", plen)
+	}
+	if ip != 0x0A000700 {
+		t.Errorf("ip = %x", ip)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	p := Path{Ingress: 1, Egress: 2, Switches: []topology.SwitchID{1, 2}}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestKShortestPathsLinear(t *testing.T) {
+	n, err := topology.Linear(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := KShortestPaths(n, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain has exactly one loopless path.
+	if len(paths) != 1 || len(paths[0]) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestKShortestPathsRing(t *testing.T) {
+	n, err := topology.Ring(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := KShortestPaths(n, 0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 6-ring has exactly two loopless 0->3 paths, both of length 4.
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+	if len(paths[0]) != 4 || len(paths[1]) != 4 {
+		t.Errorf("lengths = %d, %d, want 4, 4", len(paths[0]), len(paths[1]))
+	}
+}
+
+func TestKShortestPathsFatTree(t *testing.T) {
+	n, err := topology.FatTree(4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := n.Ports()
+	from, to := ports[0].Switch, ports[len(ports)-1].Switch
+	paths, err := KShortestPaths(n, from, to, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("want 4 distinct paths in a fat-tree, got %d", len(paths))
+	}
+	// Increasing length order; all loopless, valid, distinct.
+	for i, p := range paths {
+		if p[0] != from || p[len(p)-1] != to {
+			t.Errorf("path %d endpoints wrong: %v", i, p)
+		}
+		seen := map[topology.SwitchID]bool{}
+		for _, s := range p {
+			if seen[s] {
+				t.Errorf("path %d has a loop: %v", i, p)
+			}
+			seen[s] = true
+		}
+		for j := 1; j < len(p); j++ {
+			ok := false
+			for _, nb := range n.Neighbors(p[j-1]) {
+				if nb == p[j] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("path %d has non-adjacent hop: %v", i, p)
+			}
+		}
+		if i > 0 && len(paths[i-1]) > len(p) {
+			t.Errorf("paths not in length order: %v", paths)
+		}
+	}
+}
+
+func TestKShortestPathsEdgeCases(t *testing.T) {
+	n, err := topology.Linear(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paths, err := KShortestPaths(n, 1, 1, 3); err != nil || len(paths) != 1 || len(paths[0]) != 1 {
+		t.Errorf("self path = %v, %v", paths, err)
+	}
+	if paths, _ := KShortestPaths(n, 0, 2, 0); paths != nil {
+		t.Errorf("k=0 should return nil, got %v", paths)
+	}
+	disc := topology.NewNetwork()
+	if err := disc.AddSwitch(topology.Switch{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := disc.AddSwitch(topology.Switch{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := KShortestPaths(disc, 1, 2, 2); err == nil {
+		t.Error("disconnected should error")
+	}
+}
+
+func TestBuildMultipathRouting(t *testing.T) {
+	n, err := topology.FatTree(4, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ports := n.Ports()
+	pairs := []PortPair{{In: ports[0].ID, Out: ports[len(ports)-1].ID}}
+	rt, err := BuildMultipathRouting(n, pairs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.NumPaths(); got != 3 {
+		t.Fatalf("paths = %d, want 3", got)
+	}
+	if _, err := BuildMultipathRouting(n, []PortPair{{In: 9999, Out: ports[0].ID}}, 2); err == nil {
+		t.Error("bad ingress should error")
+	}
+}

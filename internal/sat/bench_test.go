@@ -1,0 +1,103 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPigeonholeUnsat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := 6
+		s := NewSolver()
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			s.AddClause(p[i]...)
+		}
+		for j := 0; j < n; j++ {
+			col := make([]int, 0, n+1)
+			for i := 0; i <= n; i++ {
+				col = append(col, p[i][j])
+			}
+			s.AddAtMost(col, 1)
+		}
+		if st := s.Solve(); st != Unsat {
+			b.Fatalf("status %v", st)
+		}
+	}
+}
+
+func BenchmarkRandom3SAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		s := NewSolver()
+		n := 200
+		vars := make([]int, n)
+		for j := range vars {
+			vars[j] = s.NewVar()
+		}
+		ok := true
+		for c := 0; c < 700 && ok; c++ {
+			lit := func() int {
+				v := vars[rng.Intn(n)]
+				if rng.Intn(2) == 0 {
+					return -v
+				}
+				return v
+			}
+			ok = s.AddClause(lit(), lit(), lit())
+		}
+		if ok {
+			s.Solve()
+		}
+	}
+}
+
+func BenchmarkCardinalityPropagation(b *testing.B) {
+	// Chains of cardinality constraints that propagate heavily.
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		n := 300
+		vars := make([]int, n)
+		for j := range vars {
+			vars[j] = s.NewVar()
+		}
+		for c := 0; c+10 <= n; c += 5 {
+			s.AddAtMost(vars[c:c+10], 3)
+		}
+		// Force a pattern that drives the counters.
+		for j := 0; j < n; j += 4 {
+			s.AddClause(vars[j])
+		}
+		s.Solve()
+	}
+}
+
+func BenchmarkMinimizeSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		n := 40
+		vars := make([]int, n)
+		weights := make([]int64, n)
+		for j := range vars {
+			vars[j] = s.NewVar()
+			weights[j] = 1
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		for c := 0; c < 25; c++ {
+			var cl []int
+			for k := 0; k < 3; k++ {
+				cl = append(cl, vars[rng.Intn(n)])
+			}
+			s.AddClause(cl...)
+		}
+		if _, _, st := s.Minimize(vars, weights); st != Sat {
+			b.Fatalf("status %v", st)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+// Package sat is a conflict-driven clause-learning (CDCL) SAT solver
+// with native pseudo-Boolean (weighted at-most) constraints and a linear
+// objective optimizer. It implements the paper's satisfiability
+// formulation (§IV-D): implication clauses (Eq. 6), coverage clauses
+// (Eq. 7), cardinality capacity constraints (Eq. 3), and merged-rule
+// equivalences (Eq. 8), and doubles as the Pseudo-Boolean optimizer the
+// paper leaves to future work.
+//
+// Literals are signed integers: +v means variable v is true, -v false.
+// Variables are 1-based.
+package sat
+
+import (
+	"fmt"
+	"time"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Sat Status = iota + 1
+	Unsat
+	Unknown // deadline or conflict budget exhausted
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Internal literal encoding: lit = 2*v for +v, 2*v+1 for -v.
+type ilit int32
+
+func toILit(l int) ilit {
+	if l > 0 {
+		return ilit(2 * l)
+	}
+	return ilit(-2*l + 1)
+}
+
+func (l ilit) variable() int32 { return int32(l) >> 1 }
+func (l ilit) neg() ilit       { return l ^ 1 }
+func (l ilit) sign() bool      { return l&1 == 0 } // true for positive
+
+// Assignment values.
+const (
+	vUndef int8 = iota
+	vTrue
+	vFalse
+)
+
+// clause is a disjunction of literals; learnt clauses carry activity.
+type clause struct {
+	lits     []ilit
+	learnt   bool
+	activity float64
+}
+
+// pbConstraint is sum(weight_i * lit_i) <= bound with positive weights.
+type pbConstraint struct {
+	lits    []ilit
+	weights []int64
+	bound   int64
+	sumTrue int64 // current weight of true literals
+	maxW    int64
+}
+
+// pbOcc is one occurrence of a literal in a PB constraint.
+type pbOcc struct {
+	idx int32 // index into Solver.pbs
+	w   int64
+}
+
+// reason encodes why a literal was assigned: a clause, a PB constraint,
+// or a decision (none).
+type reason struct {
+	cl *clause
+	pb *pbConstraint
+}
+
+// Solver is a CDCL SAT solver instance. Not safe for concurrent use.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+	pbs     []*pbConstraint
+
+	watches map[ilit][]*clause // clause watch lists
+	pbWatch map[ilit][]pbOcc   // pb occurrence lists
+
+	assign  []int8 // by variable
+	level   []int32
+	reasons []reason
+	trailI  []int32 // trail index by variable
+	trail   []ilit
+	qhead   int
+
+	decisionLevel int32
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	phase    []bool
+
+	ok       bool // false once UNSAT at level 0
+	deadline time.Time
+
+	// Stats
+	Propagations int64
+	Conflicts    int64
+	Decisions    int64
+	Restarts     int64
+
+	seen    []bool
+	toClear []int32
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{
+		watches: make(map[ilit][]*clause),
+		pbWatch: make(map[ilit][]pbOcc),
+		varInc:  1,
+		ok:      true,
+	}
+	s.order = &varHeap{solver: s}
+	// Variable 0 is unused (1-based).
+	s.assign = append(s.assign, vUndef)
+	s.level = append(s.level, 0)
+	s.reasons = append(s.reasons, reason{})
+	s.trailI = append(s.trailI, 0)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its (positive) index.
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, vUndef)
+	s.level = append(s.level, 0)
+	s.reasons = append(s.reasons, reason{})
+	s.trailI = append(s.trailI, 0)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.order.push(int32(s.nVars))
+	return s.nVars
+}
+
+// NumVars returns the variable count.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// SetDeadline bounds solve time; zero means no limit.
+func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+
+// value returns the current assignment of an internal literal.
+func (s *Solver) value(l ilit) int8 {
+	v := s.assign[l.variable()]
+	if v == vUndef {
+		return vUndef
+	}
+	if l.sign() {
+		return v
+	}
+	if v == vTrue {
+		return vFalse
+	}
+	return vTrue
+}
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool { return s.assign[v] == vTrue }
+
+// AddClause adds a disjunction of signed literals. Returns false if the
+// solver is already in an UNSAT state.
+func (s *Solver) AddClause(lits ...int) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0) // constraints are added at the root level
+	// Normalize: dedup, detect tautology, drop false literals.
+	ils := make([]ilit, 0, len(lits))
+	seen := make(map[ilit]bool, len(lits))
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal")
+		}
+		il := toILit(l)
+		if int(il.variable()) > s.nVars {
+			panic(fmt.Sprintf("sat: literal %d references unallocated variable", l))
+		}
+		if seen[il.neg()] {
+			return true // tautology
+		}
+		if seen[il] {
+			continue
+		}
+		switch s.value(il) {
+		case vTrue:
+			return true // already satisfied
+		case vFalse:
+			continue // drop
+		}
+		seen[il] = true
+		ils = append(ils, il)
+	}
+	switch len(ils) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(ils[0], reason{})
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: ils}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+// AddAtMost adds a cardinality constraint: at most k of the signed
+// literals are true.
+func (s *Solver) AddAtMost(lits []int, k int) bool {
+	w := make([]int64, len(lits))
+	for i := range w {
+		w[i] = 1
+	}
+	return s.AddPB(lits, w, int64(k))
+}
+
+// AddAtLeast adds sum(lits true) >= k via negation: at most len-k of the
+// negated literals are true.
+func (s *Solver) AddAtLeast(lits []int, k int) bool {
+	neg := make([]int, len(lits))
+	for i, l := range lits {
+		neg[i] = -l
+	}
+	return s.AddAtMost(neg, len(lits)-k)
+}
+
+// AddPB adds sum(weights_i * lit_i) <= bound with nonnegative weights.
+func (s *Solver) AddPB(lits []int, weights []int64, bound int64) bool {
+	if !s.ok {
+		return false
+	}
+	if len(lits) != len(weights) {
+		panic("sat: AddPB length mismatch")
+	}
+	s.cancelUntil(0) // constraints are added at the root level
+	pb := &pbConstraint{bound: bound}
+	for i, l := range lits {
+		if weights[i] < 0 {
+			panic("sat: negative PB weight")
+		}
+		if weights[i] == 0 {
+			continue
+		}
+		il := toILit(l)
+		if int(il.variable()) > s.nVars {
+			panic(fmt.Sprintf("sat: literal %d references unallocated variable", l))
+		}
+		switch s.value(il) {
+		case vTrue:
+			pb.bound -= weights[i] // already consumed
+			continue
+		case vFalse:
+			continue // can never contribute
+		}
+		pb.lits = append(pb.lits, il)
+		pb.weights = append(pb.weights, weights[i])
+		if weights[i] > pb.maxW {
+			pb.maxW = weights[i]
+		}
+	}
+	if pb.bound < 0 {
+		s.ok = false
+		return false
+	}
+	// Trivially satisfied?
+	var total int64
+	for _, w := range pb.weights {
+		total += w
+	}
+	if total <= pb.bound {
+		return true
+	}
+	idx := int32(len(s.pbs))
+	s.pbs = append(s.pbs, pb)
+	for i, il := range pb.lits {
+		s.pbWatch[il] = append(s.pbWatch[il], pbOcc{idx: idx, w: pb.weights[i]})
+	}
+	// Immediate propagation: literals too heavy to ever be true.
+	for i, il := range pb.lits {
+		if pb.weights[i] > pb.bound && s.value(il) == vUndef {
+			s.uncheckedEnqueue(il.neg(), reason{pb: pb})
+		}
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	return true
+}
+
+// watchClause installs two-literal watches.
+func (s *Solver) watchClause(c *clause) {
+	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], c)
+	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+}
+
+// uncheckedEnqueue pushes an assignment onto the trail.
+func (s *Solver) uncheckedEnqueue(l ilit, from reason) {
+	v := l.variable()
+	if l.sign() {
+		s.assign[v] = vTrue
+	} else {
+		s.assign[v] = vFalse
+	}
+	s.level[v] = s.decisionLevel
+	s.reasons[v] = from
+	s.trailI[v] = int32(len(s.trail))
+	s.trail = append(s.trail, l)
+}
+
+// propagate processes the trail queue; it returns a conflicting
+// constraint description or nil.
+type conflictInfo struct {
+	cl *clause
+	pb *pbConstraint
+}
+
+func (s *Solver) propagate() *conflictInfo {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+
+		// PB counters: l just became true. Counter state must stay
+		// consistent with the trail, so on conflict the not-yet-counted
+		// trail suffix is counted before returning (cancelUntil
+		// decrements every unassigned literal symmetrically).
+		var pbConfl *pbConstraint
+		for _, occ := range s.pbWatch[l] {
+			pb := s.pbs[occ.idx]
+			pb.sumTrue += occ.w
+			if pb.sumTrue > pb.bound && pbConfl == nil {
+				pbConfl = pb
+			}
+		}
+		if pbConfl != nil {
+			s.countTrailSuffix()
+			return &conflictInfo{pb: pbConfl}
+		}
+		// PB propagation: literals that no longer fit must go false.
+		for _, occ := range s.pbWatch[l] {
+			pb := s.pbs[occ.idx]
+			slack := pb.bound - pb.sumTrue
+			if pb.maxW <= slack {
+				continue
+			}
+			for i, il := range pb.lits {
+				if pb.weights[i] > slack && s.value(il) == vUndef {
+					s.uncheckedEnqueue(il.neg(), reason{pb: pb})
+				}
+			}
+		}
+
+		// Clause watches on ¬l ... we watch neg so key is l itself.
+		ws := s.watches[l]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure lits[1] is the falsified literal (l.neg()).
+			if c.lits[0] == l.neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == vTrue {
+				ws[j] = c
+				j++
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != vFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflicting.
+			ws[j] = c
+			j++
+			if s.value(c.lits[0]) == vFalse {
+				// Conflict: keep remaining watches, restore list.
+				copy(ws[j:], ws[i+1:])
+				s.watches[l] = ws[:j+len(ws[i+1:])]
+				s.countTrailSuffix()
+				return &conflictInfo{cl: c}
+			}
+			s.uncheckedEnqueue(c.lits[0], reason{cl: c})
+		}
+		s.watches[l] = ws[:j]
+	}
+	return nil
+}
+
+// countTrailSuffix folds the not-yet-propagated trail literals into the
+// PB counters so that counter state matches the trail exactly before a
+// conflict unwinds it.
+func (s *Solver) countTrailSuffix() {
+	for _, t := range s.trail[s.qhead:] {
+		for _, occ := range s.pbWatch[t] {
+			s.pbs[occ.idx].sumTrue += occ.w
+		}
+	}
+	s.qhead = len(s.trail)
+}

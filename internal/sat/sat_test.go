@@ -1,0 +1,627 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	s.AddClause(-a)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Errorf("model: a=%v b=%v, want a=false b=true", s.Value(a), s.Value(b))
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar()
+	s.AddClause(a)
+	if ok := s.AddClause(-a); ok {
+		t.Error("adding -a after a should fail at level 0")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar()
+	s.AddClause(a)
+	if s.AddClause(-a) {
+		t.Error("contradictory unit should return false")
+	}
+	if s.Solve() != Unsat {
+		t.Error("expected Unsat")
+	}
+}
+
+func TestChainImplication(t *testing.T) {
+	// x1 -> x2 -> ... -> x10; x1 true forces all.
+	s := NewSolver()
+	vars := make([]int, 10)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(-vars[i], vars[i+1])
+	}
+	s.AddClause(vars[0])
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Errorf("x%d should be true", i+1)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n) is UNSAT: n+1 pigeons, n holes.
+	for _, n := range []int{3, 4, 5} {
+		s := NewSolver()
+		// p[i][j]: pigeon i in hole j.
+		p := make([][]int, n+1)
+		for i := range p {
+			p[i] = make([]int, n)
+			for j := range p[i] {
+				p[i][j] = s.NewVar()
+			}
+		}
+		for i := 0; i <= n; i++ {
+			clause := make([]int, n)
+			copy(clause, p[i])
+			s.AddClause(clause...)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i <= n; i++ {
+				for k := i + 1; k <= n; k++ {
+					s.AddClause(-p[i][j], -p[k][j])
+				}
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Errorf("PHP(%d,%d) = %v, want unsat", n+1, n, st)
+		}
+	}
+}
+
+func TestPigeonholeViaCardinality(t *testing.T) {
+	// Same problem with AtMost(1) constraints per hole.
+	n := 5
+	s := NewSolver()
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		col := make([]int, 0, n+1)
+		for i := 0; i <= n; i++ {
+			col = append(col, p[i][j])
+		}
+		s.AddAtMost(col, 1)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Errorf("cardinality PHP = %v, want unsat", st)
+	}
+}
+
+func TestAtMostSemantics(t *testing.T) {
+	s := NewSolver()
+	vars := make([]int, 5)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddAtMost(vars, 2)
+	// Force three of them true: must be UNSAT.
+	s.AddClause(vars[0])
+	s.AddClause(vars[1])
+	if !s.AddClause(vars[2]) {
+		// Could fail at add time via propagation.
+		return
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Errorf("status = %v, want unsat", st)
+	}
+}
+
+func TestAtMostAllowsExactlyK(t *testing.T) {
+	s := NewSolver()
+	vars := make([]int, 5)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddAtMost(vars, 2)
+	s.AddClause(vars[0])
+	s.AddClause(vars[1])
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	count := 0
+	for _, v := range vars {
+		if s.Value(v) {
+			count++
+		}
+	}
+	if count > 2 {
+		t.Errorf("%d true vars, want <= 2", count)
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	s := NewSolver()
+	vars := make([]int, 4)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddAtLeast(vars, 3)
+	s.AddClause(-vars[0])
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	count := 0
+	for _, v := range vars {
+		if s.Value(v) {
+			count++
+		}
+	}
+	if count < 3 {
+		t.Errorf("%d true, want >= 3", count)
+	}
+	// Forcing two false makes it UNSAT.
+	s2 := NewSolver()
+	vars2 := make([]int, 4)
+	for i := range vars2 {
+		vars2[i] = s2.NewVar()
+	}
+	s2.AddAtLeast(vars2, 3)
+	s2.AddClause(-vars2[0])
+	s2.AddClause(-vars2[1])
+	if st := s2.Solve(); st != Unsat {
+		t.Errorf("status = %v, want unsat", st)
+	}
+}
+
+func TestWeightedPB(t *testing.T) {
+	// 3a + 4b + 2c <= 6: {a,b} ok (7 > 6? no: 3+4=7 > 6 -> forbidden).
+	s := NewSolver()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddPB([]int{a, b, c}, []int64{3, 4, 2}, 6)
+	s.AddClause(a)
+	s.AddClause(b)
+	if st := s.Solve(); st != Unsat {
+		t.Errorf("a+b weighs 7 > 6; status = %v, want unsat", st)
+	}
+
+	s2 := NewSolver()
+	a2, b2, c2 := s2.NewVar(), s2.NewVar(), s2.NewVar()
+	s2.AddPB([]int{a2, b2, c2}, []int64{3, 4, 2}, 6)
+	s2.AddClause(b2)
+	s2.AddClause(c2)
+	if st := s2.Solve(); st != Sat {
+		t.Fatalf("b+c weighs 6 <= 6; status = %v", st)
+	}
+	if s2.Value(a2) {
+		t.Error("a must be false (would exceed bound)")
+	}
+}
+
+func TestPBOverweightLiteralForcedFalse(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddPB([]int{a, b}, []int64{10, 1}, 5)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if s.Value(a) {
+		t.Error("a weighs 10 > 5 and must be false")
+	}
+}
+
+func TestNegativeLiteralsInPB(t *testing.T) {
+	// at most 1 of {-a, b}: a=false counts.
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddAtMost([]int{-a, b}, 1)
+	s.AddClause(-a) // -a true: consumes the budget
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if s.Value(b) {
+		t.Error("b must be false once -a is true")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(-a, b)
+	if st := s.Solve(a); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if !s.Value(a) || !s.Value(b) {
+		t.Error("assumption a should force b")
+	}
+	// Assumptions that contradict clauses: UNSAT, but solver reusable.
+	s.AddClause(-b)
+	if st := s.Solve(a); st != Unsat {
+		t.Errorf("status = %v, want unsat under assumption", st)
+	}
+	if st := s.Solve(-a); st != Sat {
+		t.Errorf("status = %v, want sat without the bad assumption", st)
+	}
+}
+
+func TestDeadlineUnknown(t *testing.T) {
+	s := NewSolver()
+	// A hard-ish pigeonhole with an already-expired deadline.
+	n := 8
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		s.AddClause(p[i]...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(-p[i][j], -p[k][j])
+			}
+		}
+	}
+	s.SetDeadline(time.Now().Add(-time.Second))
+	if st := s.Solve(); st != Unknown && st != Unsat {
+		t.Errorf("status = %v, want unknown (or fast unsat)", st)
+	}
+}
+
+func TestMinimizeSimple(t *testing.T) {
+	// min a+b+c s.t. a∨b, b∨c: optimum is b alone (1).
+	s := NewSolver()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	s.AddClause(b, c)
+	best, model, st := s.Minimize([]int{a, b, c}, []int64{1, 1, 1})
+	if st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if best != 1 {
+		t.Errorf("best = %d, want 1", best)
+	}
+	if !model[b] {
+		t.Errorf("model = %v, want b true", model)
+	}
+}
+
+func TestMinimizeWeighted(t *testing.T) {
+	// min 5a + b + c s.t. a ∨ (b ∧ c): encode a∨b, a∨c.
+	s := NewSolver()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	s.AddClause(a, c)
+	best, model, st := s.Minimize([]int{a, b, c}, []int64{5, 1, 1})
+	if st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	// b+c = 2 beats a = 5.
+	if best != 2 {
+		t.Errorf("best = %d, want 2", best)
+	}
+	if model[a] || !model[b] || !model[c] {
+		t.Errorf("model = %v", model)
+	}
+}
+
+func TestMinimizeUnsat(t *testing.T) {
+	s := NewSolver()
+	a := s.NewVar()
+	s.AddClause(a)
+	s.AddClause(-a)
+	if _, _, st := s.Minimize([]int{a}, []int64{1}); st != Unsat {
+		t.Errorf("status = %v, want unsat", st)
+	}
+}
+
+func TestMinimizeZeroOptimal(t *testing.T) {
+	s := NewSolver()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b, -a) // tautology; nothing forced
+	best, _, st := s.Minimize([]int{a, b}, []int64{1, 1})
+	if st != Sat || best != 0 {
+		t.Errorf("best = %d status %v, want 0 sat", best, st)
+	}
+}
+
+// bruteForceSat checks satisfiability of clauses+cards by enumeration.
+type cardC struct {
+	lits []int
+	k    int
+}
+
+func bruteForce(nVars int, clauses [][]int, cards []cardC) (bool, int) {
+	// Returns (satisfiable, min true count over all vars).
+	bestCount := -1
+	for mask := 0; mask < 1<<uint(nVars); mask++ {
+		val := func(l int) bool {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			bit := mask>>uint(v-1)&1 == 1
+			if l < 0 {
+				return !bit
+			}
+			return bit
+		}
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				if val(l) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, cc := range cards {
+				cnt := 0
+				for _, l := range cc.lits {
+					if val(l) {
+						cnt++
+					}
+				}
+				if cnt > cc.k {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			cnt := 0
+			for v := 1; v <= nVars; v++ {
+				if mask>>uint(v-1)&1 == 1 {
+					cnt++
+				}
+			}
+			if bestCount == -1 || cnt < bestCount {
+				bestCount = cnt
+			}
+		}
+	}
+	return bestCount >= 0, bestCount
+}
+
+func TestRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 4 + rng.Intn(7)
+		nClauses := 2 + rng.Intn(12)
+		var clauses [][]int
+		for c := 0; c < nClauses; c++ {
+			width := 1 + rng.Intn(3)
+			var cl []int
+			for w := 0; w < width; w++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl = append(cl, v)
+			}
+			clauses = append(clauses, cl)
+		}
+		var cards []cardC
+		if rng.Intn(2) == 0 {
+			var lits []int
+			for v := 1; v <= nVars; v++ {
+				if rng.Intn(2) == 0 {
+					lits = append(lits, v)
+				}
+			}
+			if len(lits) > 0 {
+				cards = append(cards, cardC{lits: lits, k: rng.Intn(len(lits))})
+			}
+		}
+		wantSat, _ := bruteForce(nVars, clauses, cards)
+
+		s := NewSolver()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		okSoFar := true
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				okSoFar = false
+				break
+			}
+		}
+		if okSoFar {
+			for _, cc := range cards {
+				if !s.AddAtMost(cc.lits, cc.k) {
+					okSoFar = false
+					break
+				}
+			}
+		}
+		var got Status
+		if !okSoFar {
+			got = Unsat
+		} else {
+			got = s.Solve()
+		}
+		if wantSat && got != Sat {
+			t.Fatalf("trial %d: got %v, brute force says SAT", trial, got)
+		}
+		if !wantSat && got != Unsat {
+			t.Fatalf("trial %d: got %v, brute force says UNSAT", trial, got)
+		}
+		if got == Sat {
+			// Verify the model against all constraints.
+			for ci, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: clause %d unsatisfied by model", trial, ci)
+				}
+			}
+			for _, cc := range cards {
+				cnt := 0
+				for _, l := range cc.lits {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						cnt++
+					}
+				}
+				if cnt > cc.k {
+					t.Fatalf("trial %d: cardinality violated: %d > %d", trial, cnt, cc.k)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomMinimizeVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 80; trial++ {
+		nVars := 4 + rng.Intn(6)
+		var clauses [][]int
+		for c := 0; c < 2+rng.Intn(8); c++ {
+			var cl []int
+			for w := 0; w < 1+rng.Intn(3); w++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(3) == 0 {
+					v = -v
+				}
+				cl = append(cl, v)
+			}
+			clauses = append(clauses, cl)
+		}
+		wantSat, wantMin := bruteForce(nVars, clauses, nil)
+
+		s := NewSolver()
+		vars := make([]int, nVars)
+		weights := make([]int64, nVars)
+		for v := 0; v < nVars; v++ {
+			vars[v] = s.NewVar()
+			weights[v] = 1
+		}
+		ok := true
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			if wantSat {
+				t.Fatalf("trial %d: solver rejected satisfiable clauses", trial)
+			}
+			continue
+		}
+		best, model, st := s.Minimize(vars, weights)
+		if !wantSat {
+			if st != Unsat {
+				t.Fatalf("trial %d: st=%v, want unsat", trial, st)
+			}
+			continue
+		}
+		if st != Sat {
+			t.Fatalf("trial %d: st=%v", trial, st)
+		}
+		if int(best) != wantMin {
+			t.Fatalf("trial %d: best=%d, brute force=%d", trial, best, wantMin)
+		}
+		// Model must achieve the objective and satisfy clauses.
+		cnt := 0
+		for _, v := range vars {
+			if model[v] {
+				cnt++
+			}
+		}
+		if cnt != wantMin {
+			t.Fatalf("trial %d: model has %d true, want %d", trial, cnt, wantMin)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unknown.String() != "unknown" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := lubyRec(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestManyVarsStress(t *testing.T) {
+	// A larger random 3-SAT near the easy region, plus a cardinality cap;
+	// just checks the solver terminates and answers consistently.
+	rng := rand.New(rand.NewSource(9))
+	s := NewSolver()
+	n := 300
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for c := 0; c < 600; c++ {
+		cl := []int{
+			vars[rng.Intn(n)] * sign(rng),
+			vars[rng.Intn(n)] * sign(rng),
+			vars[rng.Intn(n)] * sign(rng),
+		}
+		if !s.AddClause(cl...) {
+			t.Fatal("level-0 conflict on random 3-SAT (unexpected at this density)")
+		}
+	}
+	st := s.Solve()
+	if st != Sat && st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func sign(rng *rand.Rand) int {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,245 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FatTree builds a k-ary fat-tree [Al-Fares et al.]: (k/2)^2 core
+// switches and k pods of k/2 aggregation plus k/2 edge switches each —
+// 5k^2/4 switches total. Every edge switch carries hostsPerEdge external
+// ports (both ingress and egress); the canonical fat-tree has k/2 hosts
+// per edge switch, i.e. k^3/4 hosts. k must be even and positive.
+func FatTree(k, capacity, hostsPerEdge int) (*Network, error) {
+	if k <= 0 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity k must be positive and even, got %d", k)
+	}
+	if hostsPerEdge < 0 {
+		return nil, fmt.Errorf("topology: negative hostsPerEdge %d", hostsPerEdge)
+	}
+	n := NewNetwork()
+	half := k / 2
+
+	// Core switches: IDs [0, half^2).
+	core := func(i int) SwitchID { return SwitchID(i) }
+	for i := 0; i < half*half; i++ {
+		mustAddSwitch(n, Switch{ID: core(i), Capacity: capacity, Name: fmt.Sprintf("core%d", i)})
+	}
+	// Aggregation: IDs [half^2, half^2 + k*half).
+	agg := func(pod, j int) SwitchID { return SwitchID(half*half + pod*half + j) }
+	// Edge: IDs [half^2 + k*half, half^2 + 2*k*half).
+	edge := func(pod, j int) SwitchID { return SwitchID(half*half + k*half + pod*half + j) }
+
+	for pod := 0; pod < k; pod++ {
+		for j := 0; j < half; j++ {
+			mustAddSwitch(n, Switch{ID: agg(pod, j), Capacity: capacity, Name: fmt.Sprintf("pod%d-agg%d", pod, j)})
+			mustAddSwitch(n, Switch{ID: edge(pod, j), Capacity: capacity, Name: fmt.Sprintf("pod%d-edge%d", pod, j)})
+		}
+	}
+	// Pod-internal links: every edge to every agg within the pod.
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				if err := n.AddLink(edge(pod, e), agg(pod, a)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Agg-to-core: agg j of each pod connects to cores [j*half, (j+1)*half).
+	for pod := 0; pod < k; pod++ {
+		for j := 0; j < half; j++ {
+			for c := 0; c < half; c++ {
+				if err := n.AddLink(agg(pod, j), core(j*half+c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// External ports on edge switches.
+	port := 0
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < hostsPerEdge; h++ {
+				mustAddPort(n, ExternalPort{ID: PortID(port), Switch: edge(pod, e), Ingress: true, Egress: true})
+				port++
+			}
+		}
+	}
+	return n, nil
+}
+
+// FatTreeSwitchCount returns 5k^2/4, the switch count of a k-ary fat-tree.
+func FatTreeSwitchCount(k int) int { return 5 * k * k / 4 }
+
+// Linear builds a path topology s0 - s1 - ... - s(n-1) with an ingress
+// port on s0 and an egress port on s(n-1).
+func Linear(nSwitches, capacity int) (*Network, error) {
+	if nSwitches <= 0 {
+		return nil, fmt.Errorf("topology: linear needs at least one switch, got %d", nSwitches)
+	}
+	n := NewNetwork()
+	for i := 0; i < nSwitches; i++ {
+		mustAddSwitch(n, Switch{ID: SwitchID(i), Capacity: capacity, Name: fmt.Sprintf("s%d", i)})
+		if i > 0 {
+			if err := n.AddLink(SwitchID(i-1), SwitchID(i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	mustAddPort(n, ExternalPort{ID: 0, Switch: 0, Ingress: true})
+	mustAddPort(n, ExternalPort{ID: 1, Switch: SwitchID(nSwitches - 1), Egress: true})
+	return n, nil
+}
+
+// Ring builds a cycle of n switches with one ingress/egress port each.
+func Ring(nSwitches, capacity int) (*Network, error) {
+	if nSwitches < 3 {
+		return nil, fmt.Errorf("topology: ring needs at least 3 switches, got %d", nSwitches)
+	}
+	n := NewNetwork()
+	for i := 0; i < nSwitches; i++ {
+		mustAddSwitch(n, Switch{ID: SwitchID(i), Capacity: capacity, Name: fmt.Sprintf("r%d", i)})
+		mustAddPort(n, ExternalPort{ID: PortID(i), Switch: SwitchID(i), Ingress: true, Egress: true})
+	}
+	for i := 0; i < nSwitches; i++ {
+		if err := n.AddLink(SwitchID(i), SwitchID((i+1)%nSwitches)); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// LeafSpine builds a 2-tier Clos: every leaf connects to every spine.
+// Each leaf carries hostsPerLeaf ingress/egress ports.
+func LeafSpine(leaves, spines, capacity, hostsPerLeaf int) (*Network, error) {
+	if leaves <= 0 || spines <= 0 {
+		return nil, fmt.Errorf("topology: leaf-spine needs positive tiers, got %d leaves, %d spines", leaves, spines)
+	}
+	n := NewNetwork()
+	for s := 0; s < spines; s++ {
+		mustAddSwitch(n, Switch{ID: SwitchID(s), Capacity: capacity, Name: fmt.Sprintf("spine%d", s)})
+	}
+	for l := 0; l < leaves; l++ {
+		id := SwitchID(spines + l)
+		mustAddSwitch(n, Switch{ID: id, Capacity: capacity, Name: fmt.Sprintf("leaf%d", l)})
+		for s := 0; s < spines; s++ {
+			if err := n.AddLink(id, SwitchID(s)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	port := 0
+	for l := 0; l < leaves; l++ {
+		for h := 0; h < hostsPerLeaf; h++ {
+			mustAddPort(n, ExternalPort{ID: PortID(port), Switch: SwitchID(spines + l), Ingress: true, Egress: true})
+			port++
+		}
+	}
+	return n, nil
+}
+
+// Grid builds a w x h mesh with an ingress/egress port on each border
+// switch.
+func Grid(w, h, capacity int) (*Network, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("topology: grid needs positive dimensions, got %dx%d", w, h)
+	}
+	n := NewNetwork()
+	id := func(x, y int) SwitchID { return SwitchID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			mustAddSwitch(n, Switch{ID: id(x, y), Capacity: capacity, Name: fmt.Sprintf("g%d_%d", x, y)})
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if err := n.AddLink(id(x, y), id(x+1, y)); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if err := n.AddLink(id(x, y), id(x, y+1)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	port := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x == 0 || y == 0 || x == w-1 || y == h-1 {
+				mustAddPort(n, ExternalPort{ID: PortID(port), Switch: id(x, y), Ingress: true, Egress: true})
+				port++
+			}
+		}
+	}
+	return n, nil
+}
+
+// RandomConnected builds a random connected graph of n switches with
+// average degree close to deg, deterministically from seed. Every switch
+// gets an ingress/egress port.
+func RandomConnected(nSwitches, deg, capacity int, seed int64) (*Network, error) {
+	if nSwitches <= 0 {
+		return nil, fmt.Errorf("topology: need positive switch count, got %d", nSwitches)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := NewNetwork()
+	for i := 0; i < nSwitches; i++ {
+		mustAddSwitch(n, Switch{ID: SwitchID(i), Capacity: capacity, Name: fmt.Sprintf("n%d", i)})
+		mustAddPort(n, ExternalPort{ID: PortID(i), Switch: SwitchID(i), Ingress: true, Egress: true})
+	}
+	// Random spanning tree guarantees connectivity.
+	for i := 1; i < nSwitches; i++ {
+		if err := n.AddLink(SwitchID(i), SwitchID(rng.Intn(i))); err != nil {
+			return nil, err
+		}
+	}
+	// Extra edges up to the requested degree.
+	extra := nSwitches * (deg - 2) / 2
+	for e := 0; e < extra; e++ {
+		a, b := SwitchID(rng.Intn(nSwitches)), SwitchID(rng.Intn(nSwitches))
+		if a == b {
+			continue
+		}
+		// Ignore duplicate-link errors; density is approximate.
+		_ = n.AddLink(a, b)
+	}
+	return n, nil
+}
+
+// Fig3 builds the paper's illustrative example network (Fig. 3):
+// ingress l1 at s1, routes s1-s2-s3 (egress l2) and s1-s2-s4-s5
+// (egress l3).
+func Fig3(capacity int) *Network {
+	n := NewNetwork()
+	for i := 1; i <= 5; i++ {
+		mustAddSwitch(n, Switch{ID: SwitchID(i), Capacity: capacity, Name: fmt.Sprintf("s%d", i)})
+	}
+	links := [][2]SwitchID{{1, 2}, {2, 3}, {2, 4}, {4, 5}}
+	for _, l := range links {
+		if err := n.AddLink(l[0], l[1]); err != nil {
+			panic(err)
+		}
+	}
+	mustAddPort(n, ExternalPort{ID: 1, Switch: 1, Ingress: true})
+	mustAddPort(n, ExternalPort{ID: 2, Switch: 3, Egress: true})
+	mustAddPort(n, ExternalPort{ID: 3, Switch: 5, Egress: true})
+	return n
+}
+
+// mustAddSwitch and mustAddPort wrap Add* for generator-internal IDs that
+// are unique by construction.
+func mustAddSwitch(n *Network, s Switch) {
+	if err := n.AddSwitch(s); err != nil {
+		panic(err)
+	}
+}
+
+func mustAddPort(n *Network, p ExternalPort) {
+	if err := n.AddPort(p); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,249 @@
+// Package topology models the SDN data plane as a graph of
+// capacity-limited switches with external (ingress/egress) ports, and
+// provides the generators used by the paper's evaluation — most
+// importantly the Fat-Tree family [Al-Fares et al.] — plus several
+// simpler shapes for tests and examples.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// SwitchID identifies a switch within a network.
+type SwitchID int
+
+// PortID identifies an external network entry/exit point l_i.
+type PortID int
+
+// Switch is a data-plane element with a TCAM rule budget.
+type Switch struct {
+	ID SwitchID
+	// Capacity is the number of ACL rules the switch can hold (C_i).
+	Capacity int
+	// Name is an optional human-readable label (e.g. "pod2-edge1").
+	Name string
+}
+
+// ExternalPort is a network ingress/egress attachment point on a switch.
+type ExternalPort struct {
+	ID PortID
+	// Switch is the switch the port attaches to.
+	Switch SwitchID
+	// Ingress marks ports where traffic (and hence a policy Q_i) enters.
+	Ingress bool
+	// Egress marks ports where traffic may leave.
+	Egress bool
+}
+
+// Network is an undirected switch graph with external ports.
+type Network struct {
+	switches []Switch
+	adj      map[SwitchID][]SwitchID
+	ports    []ExternalPort
+}
+
+// Construction errors.
+var (
+	ErrUnknownSwitch  = errors.New("topology: unknown switch")
+	ErrDuplicateLink  = errors.New("topology: duplicate link")
+	ErrSelfLink       = errors.New("topology: self link")
+	ErrUnknownPort    = errors.New("topology: unknown port")
+	ErrDuplicatePort  = errors.New("topology: duplicate port id")
+	ErrDuplicateSwtch = errors.New("topology: duplicate switch id")
+)
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{adj: make(map[SwitchID][]SwitchID)}
+}
+
+// AddSwitch adds a switch. IDs must be unique.
+func (n *Network) AddSwitch(s Switch) error {
+	if _, ok := n.adj[s.ID]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateSwtch, s.ID)
+	}
+	n.switches = append(n.switches, s)
+	n.adj[s.ID] = nil
+	return nil
+}
+
+// AddLink connects two existing switches bidirectionally.
+func (n *Network) AddLink(a, b SwitchID) error {
+	if a == b {
+		return fmt.Errorf("%w: %d", ErrSelfLink, a)
+	}
+	for _, id := range []SwitchID{a, b} {
+		if _, ok := n.adj[id]; !ok {
+			return fmt.Errorf("%w: %d", ErrUnknownSwitch, id)
+		}
+	}
+	for _, nb := range n.adj[a] {
+		if nb == b {
+			return fmt.Errorf("%w: %d-%d", ErrDuplicateLink, a, b)
+		}
+	}
+	n.adj[a] = append(n.adj[a], b)
+	n.adj[b] = append(n.adj[b], a)
+	return nil
+}
+
+// AddPort attaches an external port to an existing switch.
+func (n *Network) AddPort(p ExternalPort) error {
+	if _, ok := n.adj[p.Switch]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSwitch, p.Switch)
+	}
+	for _, q := range n.ports {
+		if q.ID == p.ID {
+			return fmt.Errorf("%w: %d", ErrDuplicatePort, p.ID)
+		}
+	}
+	n.ports = append(n.ports, p)
+	return nil
+}
+
+// NumSwitches returns the switch count.
+func (n *Network) NumSwitches() int { return len(n.switches) }
+
+// Switches returns the switches sorted by ID. The slice is a copy.
+func (n *Network) Switches() []Switch {
+	out := append([]Switch(nil), n.switches...)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Switch returns the switch with the given ID.
+func (n *Network) Switch(id SwitchID) (Switch, bool) {
+	for _, s := range n.switches {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Switch{}, false
+}
+
+// SetCapacity overrides the capacity of every switch. Used by the
+// experiment sweeps that vary C uniformly.
+func (n *Network) SetCapacity(c int) {
+	for i := range n.switches {
+		n.switches[i].Capacity = c
+	}
+}
+
+// SetSwitchCapacity overrides one switch's capacity.
+func (n *Network) SetSwitchCapacity(id SwitchID, c int) error {
+	for i := range n.switches {
+		if n.switches[i].ID == id {
+			n.switches[i].Capacity = c
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrUnknownSwitch, id)
+}
+
+// Neighbors returns the switches adjacent to id, sorted. The slice is a copy.
+func (n *Network) Neighbors(id SwitchID) []SwitchID {
+	out := append([]SwitchID(nil), n.adj[id]...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Ports returns all external ports sorted by ID. The slice is a copy.
+func (n *Network) Ports() []ExternalPort {
+	out := append([]ExternalPort(nil), n.ports...)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Port returns the external port with the given ID.
+func (n *Network) Port(id PortID) (ExternalPort, bool) {
+	for _, p := range n.ports {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return ExternalPort{}, false
+}
+
+// IngressPorts returns the ports where traffic enters, sorted by ID.
+func (n *Network) IngressPorts() []ExternalPort {
+	var out []ExternalPort
+	for _, p := range n.ports {
+		if p.Ingress {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// EgressPorts returns the ports where traffic may exit, sorted by ID.
+func (n *Network) EgressPorts() []ExternalPort {
+	var out []ExternalPort
+	for _, p := range n.ports {
+		if p.Egress {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// NumLinks returns the number of undirected links.
+func (n *Network) NumLinks() int {
+	total := 0
+	for _, nb := range n.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Connected reports whether the switch graph is connected.
+func (n *Network) Connected() bool {
+	if len(n.switches) == 0 {
+		return true
+	}
+	seen := map[SwitchID]bool{n.switches[0].ID: true}
+	queue := []SwitchID{n.switches[0].ID}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range n.adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == len(n.switches)
+}
+
+// Validate checks structural invariants.
+func (n *Network) Validate() error {
+	for _, p := range n.ports {
+		if _, ok := n.adj[p.Switch]; !ok {
+			return fmt.Errorf("%w: port %d on missing switch %d", ErrUnknownSwitch, p.ID, p.Switch)
+		}
+		if !p.Ingress && !p.Egress {
+			return fmt.Errorf("topology: port %d is neither ingress nor egress", p.ID)
+		}
+	}
+	for _, s := range n.switches {
+		if s.Capacity < 0 {
+			return fmt.Errorf("topology: switch %d has negative capacity", s.ID)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := NewNetwork()
+	c.switches = append([]Switch(nil), n.switches...)
+	c.ports = append([]ExternalPort(nil), n.ports...)
+	for id, nb := range n.adj {
+		c.adj[id] = append([]SwitchID(nil), nb...)
+	}
+	return c
+}

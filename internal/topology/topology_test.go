@@ -1,0 +1,301 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAddSwitchAndLink(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddSwitch(Switch{ID: 1, Capacity: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSwitch(Switch{ID: 2, Capacity: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumSwitches() != 2 || n.NumLinks() != 1 {
+		t.Errorf("counts: %d switches, %d links", n.NumSwitches(), n.NumLinks())
+	}
+	nb := n.Neighbors(1)
+	if len(nb) != 1 || nb[0] != 2 {
+		t.Errorf("Neighbors(1) = %v", nb)
+	}
+}
+
+func TestAddSwitchDuplicate(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddSwitch(Switch{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSwitch(Switch{ID: 1}); !errors.Is(err, ErrDuplicateSwtch) {
+		t.Errorf("err = %v, want ErrDuplicateSwtch", err)
+	}
+}
+
+func TestAddLinkErrors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddSwitch(Switch{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSwitch(Switch{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink(1, 1); !errors.Is(err, ErrSelfLink) {
+		t.Errorf("self link err = %v", err)
+	}
+	if err := n.AddLink(1, 3); !errors.Is(err, ErrUnknownSwitch) {
+		t.Errorf("unknown switch err = %v", err)
+	}
+	if err := n.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink(2, 1); !errors.Is(err, ErrDuplicateLink) {
+		t.Errorf("duplicate link err = %v", err)
+	}
+}
+
+func TestPorts(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddSwitch(Switch{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPort(ExternalPort{ID: 5, Switch: 1, Ingress: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPort(ExternalPort{ID: 6, Switch: 1, Egress: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPort(ExternalPort{ID: 5, Switch: 1}); !errors.Is(err, ErrDuplicatePort) {
+		t.Errorf("duplicate port err = %v", err)
+	}
+	if err := n.AddPort(ExternalPort{ID: 7, Switch: 9}); !errors.Is(err, ErrUnknownSwitch) {
+		t.Errorf("unknown switch err = %v", err)
+	}
+	if got := len(n.IngressPorts()); got != 1 {
+		t.Errorf("ingress ports = %d", got)
+	}
+	if got := len(n.EgressPorts()); got != 1 {
+		t.Errorf("egress ports = %d", got)
+	}
+	if p, ok := n.Port(5); !ok || !p.Ingress {
+		t.Errorf("Port(5) = %v, %v", p, ok)
+	}
+	if _, ok := n.Port(99); ok {
+		t.Error("Port(99) should not exist")
+	}
+}
+
+func TestSetCapacity(t *testing.T) {
+	n, err := Linear(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetCapacity(77)
+	for _, s := range n.Switches() {
+		if s.Capacity != 77 {
+			t.Errorf("switch %d capacity = %d", s.ID, s.Capacity)
+		}
+	}
+	if err := n.SetSwitchCapacity(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := n.Switch(1)
+	if s.Capacity != 5 {
+		t.Errorf("switch 1 capacity = %d, want 5", s.Capacity)
+	}
+	if err := n.SetSwitchCapacity(42, 5); !errors.Is(err, ErrUnknownSwitch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		n, err := FatTree(k, 100, k/2)
+		if err != nil {
+			t.Fatalf("FatTree(%d): %v", k, err)
+		}
+		if got, want := n.NumSwitches(), FatTreeSwitchCount(k); got != want {
+			t.Errorf("k=%d: switches = %d, want %d", k, got, want)
+		}
+		if got, want := len(n.Ports()), k*k*k/4; got != want {
+			t.Errorf("k=%d: hosts = %d, want %d", k, got, want)
+		}
+		if !n.Connected() {
+			t.Errorf("k=%d: fat-tree not connected", k)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+		// Link count: pods contribute k*(k/2)^2 edge-agg links; core
+		// layer contributes k*(k/2)^2 agg-core links.
+		half := k / 2
+		wantLinks := k*half*half + k*half*half
+		if got := n.NumLinks(); got != wantLinks {
+			t.Errorf("k=%d: links = %d, want %d", k, got, wantLinks)
+		}
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	if _, err := FatTree(3, 100, 1); err == nil {
+		t.Error("expected error for odd k")
+	}
+	if _, err := FatTree(0, 100, 1); err == nil {
+		t.Error("expected error for k=0")
+	}
+	if _, err := FatTree(4, 100, -1); err == nil {
+		t.Error("expected error for negative hosts")
+	}
+}
+
+func TestLinear(t *testing.T) {
+	n, err := Linear(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumSwitches() != 4 || n.NumLinks() != 3 {
+		t.Errorf("linear counts wrong: %d switches %d links", n.NumSwitches(), n.NumLinks())
+	}
+	if !n.Connected() {
+		t.Error("linear not connected")
+	}
+	if _, err := Linear(0, 1); err == nil {
+		t.Error("expected error for 0 switches")
+	}
+}
+
+func TestRing(t *testing.T) {
+	n, err := Ring(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLinks() != 5 {
+		t.Errorf("ring links = %d, want 5", n.NumLinks())
+	}
+	for _, s := range n.Switches() {
+		if len(n.Neighbors(s.ID)) != 2 {
+			t.Errorf("switch %d degree != 2", s.ID)
+		}
+	}
+	if _, err := Ring(2, 1); err == nil {
+		t.Error("expected error for tiny ring")
+	}
+}
+
+func TestLeafSpine(t *testing.T) {
+	n, err := LeafSpine(4, 2, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumSwitches() != 6 || n.NumLinks() != 8 {
+		t.Errorf("leaf-spine counts: %d switches %d links", n.NumSwitches(), n.NumLinks())
+	}
+	if got := len(n.Ports()); got != 12 {
+		t.Errorf("ports = %d, want 12", got)
+	}
+	if !n.Connected() {
+		t.Error("leaf-spine not connected")
+	}
+	if _, err := LeafSpine(0, 1, 1, 1); err == nil {
+		t.Error("expected error for zero leaves")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	n, err := Grid(3, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumSwitches() != 9 || n.NumLinks() != 12 {
+		t.Errorf("grid counts: %d switches %d links", n.NumSwitches(), n.NumLinks())
+	}
+	// Border switches: all but the center.
+	if got := len(n.Ports()); got != 8 {
+		t.Errorf("border ports = %d, want 8", got)
+	}
+	if _, err := Grid(0, 3, 1); err == nil {
+		t.Error("expected error for zero width")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	n, err := RandomConnected(20, 4, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Connected() {
+		t.Error("random graph not connected")
+	}
+	// Determinism.
+	n2, err := RandomConnected(20, 4, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLinks() != n2.NumLinks() {
+		t.Errorf("same seed produced different graphs: %d vs %d links", n.NumLinks(), n2.NumLinks())
+	}
+	if _, err := RandomConnected(0, 2, 1, 1); err == nil {
+		t.Error("expected error for zero switches")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	n := Fig3(100)
+	if n.NumSwitches() != 5 || n.NumLinks() != 4 {
+		t.Errorf("fig3 counts: %d switches %d links", n.NumSwitches(), n.NumLinks())
+	}
+	in := n.IngressPorts()
+	if len(in) != 1 || in[0].Switch != 1 {
+		t.Errorf("fig3 ingress = %v", in)
+	}
+	if got := len(n.EgressPorts()); got != 2 {
+		t.Errorf("fig3 egresses = %d", got)
+	}
+	if err := n.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddSwitch(Switch{ID: 1, Capacity: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPort(ExternalPort{ID: 1, Switch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err == nil {
+		t.Error("port with neither ingress nor egress should fail validation")
+	}
+	n2 := NewNetwork()
+	if err := n2.AddSwitch(Switch{ID: 1, Capacity: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Validate(); err == nil {
+		t.Error("negative capacity should fail validation")
+	}
+}
+
+func TestConnectedDetectsPartition(t *testing.T) {
+	n := NewNetwork()
+	for i := 1; i <= 4; i++ {
+		if err := n.AddSwitch(Switch{ID: SwitchID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddLink(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddLink(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n.Connected() {
+		t.Error("partitioned graph reported connected")
+	}
+	if !NewNetwork().Connected() {
+		t.Error("empty graph should be connected")
+	}
+}

@@ -1,0 +1,209 @@
+// Package verify checks that a deployed rule placement preserves the
+// semantics of the original ingress policies: a packet is dropped by the
+// network if and only if its ingress policy drops it, for every path it
+// can take. It also audits switch capacities. This is the safety net the
+// paper's "preserve the semantics of the original policies" requirement
+// demands, exercised by tests and examples.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rulefit/internal/dataplane"
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+// Violation describes one semantic mismatch found.
+type Violation struct {
+	Ingress topology.PortID
+	Path    routing.Path
+	Header  []uint64
+	// Want is the policy's decision, Got the network's.
+	Want, Got policy.Action
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("ingress %d path %v: policy says %v, network says %v", v.Ingress, v.Path.Switches, v.Want, v.Got)
+}
+
+// Config controls the verification effort.
+type Config struct {
+	// SamplesPerRule is the number of random headers drawn inside each
+	// rule's match region (default 8).
+	SamplesPerRule int
+	// RandomSamples is the number of unconstrained random headers per
+	// path (default 32).
+	RandomSamples int
+	// Seed makes sampling deterministic.
+	Seed int64
+	// MaxViolations stops the search early (default 10).
+	MaxViolations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplesPerRule == 0 {
+		c.SamplesPerRule = 8
+	}
+	if c.RandomSamples == 0 {
+		c.RandomSamples = 32
+	}
+	if c.MaxViolations == 0 {
+		c.MaxViolations = 10
+	}
+	return c
+}
+
+// Semantics checks policy preservation over sampled and corner-case
+// headers: for every policy and every path, headers drawn from each
+// rule's region (and each overlapping rule pair's intersection) must
+// receive the same decision from the data plane as from the policy.
+func Semantics(net *dataplane.Network, rt *routing.Routing, policies []*policy.Policy, cfg Config) []Violation {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var out []Violation
+
+	for _, pol := range policies {
+		ps, ok := rt.Sets[topology.PortID(pol.Ingress)]
+		if !ok {
+			continue
+		}
+		headers := interestingHeaders(pol, rng, cfg)
+		for _, path := range ps.Paths {
+			for _, h := range headers {
+				if path.HasTraffic && !headerInTernary(h, path.Traffic) {
+					continue // packet would not take this path
+				}
+				if v := checkOne(net, pol, path, h); v != nil {
+					out = append(out, *v)
+					if len(out) >= cfg.MaxViolations {
+						return out
+					}
+				}
+			}
+			// Path-specific samples inside the traffic slice.
+			if path.HasTraffic {
+				for i := 0; i < cfg.RandomSamples; i++ {
+					h := match.SampleWords(path.Traffic, rng)
+					if v := checkOne(net, pol, path, h); v != nil {
+						out = append(out, *v)
+						if len(out) >= cfg.MaxViolations {
+							return out
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkOne compares policy vs network for one header on one path.
+func checkOne(net *dataplane.Network, pol *policy.Policy, path routing.Path, h []uint64) *Violation {
+	want := pol.Evaluate(h)
+	verdict := net.Walk(topology.PortID(pol.Ingress), path.Switches, h)
+	got := policy.Permit
+	if verdict.Dropped {
+		got = policy.Drop
+	}
+	if got != want {
+		return &Violation{
+			Ingress: topology.PortID(pol.Ingress),
+			Path:    path,
+			Header:  h,
+			Want:    want,
+			Got:     got,
+		}
+	}
+	return nil
+}
+
+// interestingHeaders draws headers from every rule region, every
+// overlapping pair's intersection, and uniformly at random.
+func interestingHeaders(pol *policy.Policy, rng *rand.Rand, cfg Config) [][]uint64 {
+	var out [][]uint64
+	for _, r := range pol.Rules {
+		for i := 0; i < cfg.SamplesPerRule; i++ {
+			out = append(out, match.SampleWords(r.Match, rng))
+		}
+	}
+	for i := 0; i < len(pol.Rules); i++ {
+		for j := i + 1; j < len(pol.Rules); j++ {
+			if inter, ok := pol.Rules[i].Match.Intersect(pol.Rules[j].Match); ok {
+				out = append(out, match.SampleWords(inter, rng))
+			}
+		}
+	}
+	if w := pol.Width(); w > 0 {
+		full := match.NewTernary(w)
+		for i := 0; i < cfg.RandomSamples; i++ {
+			out = append(out, match.SampleWords(full, rng))
+		}
+	}
+	return out
+}
+
+// headerInTernary reports whether a packed header matches a ternary.
+func headerInTernary(h []uint64, t match.Ternary) bool { return t.MatchesWords(h) }
+
+// Exhaustive checks every header of a small width exhaustively; only
+// usable for test policies with width <= 20 bits.
+func Exhaustive(net *dataplane.Network, rt *routing.Routing, policies []*policy.Policy) []Violation {
+	var out []Violation
+	for _, pol := range policies {
+		w := pol.Width()
+		if w == 0 || w > 20 {
+			continue
+		}
+		ps, ok := rt.Sets[topology.PortID(pol.Ingress)]
+		if !ok {
+			continue
+		}
+		for hv := uint64(0); hv < 1<<uint(w); hv++ {
+			h := []uint64{hv}
+			for _, path := range ps.Paths {
+				if path.HasTraffic && !path.Traffic.MatchesWords(h) {
+					continue
+				}
+				if v := checkOne(net, pol, path, h); v != nil {
+					out = append(out, *v)
+					if len(out) >= 20 {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Capacities returns a list of capacity violations (switch and excess).
+type CapacityViolation struct {
+	Switch topology.SwitchID
+	Used   int
+	Cap    int
+}
+
+// String renders the capacity violation.
+func (c CapacityViolation) String() string {
+	return fmt.Sprintf("switch %d: %d rules > capacity %d", c.Switch, c.Used, c.Cap)
+}
+
+// Capacities audits per-switch TCAM usage against the topology.
+func Capacities(net *dataplane.Network, topo *topology.Network) []CapacityViolation {
+	var out []CapacityViolation
+	for _, sw := range topo.Switches() {
+		t, ok := net.Tables[sw.ID]
+		if !ok {
+			continue
+		}
+		if t.Size() > sw.Capacity {
+			out = append(out, CapacityViolation{Switch: sw.ID, Used: t.Size(), Cap: sw.Capacity})
+		}
+	}
+	return out
+}

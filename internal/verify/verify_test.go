@@ -1,0 +1,166 @@
+package verify
+
+import (
+	"testing"
+
+	"rulefit/internal/dataplane"
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+func mk(pattern string, a policy.Action, prio int) policy.Rule {
+	return policy.Rule{Match: match.MustParseTernary(pattern), Action: a, Priority: prio}
+}
+
+func entry(in topology.PortID, pattern string, a policy.Action, prio int) dataplane.Entry {
+	return dataplane.Entry{
+		Tags:     map[topology.PortID]bool{in: true},
+		Match:    match.MustParseTernary(pattern),
+		Action:   a,
+		Priority: prio,
+	}
+}
+
+// miniSetup: one ingress at s1, one path s1-s2, a 2-rule policy.
+func miniSetup() (*routing.Routing, []*policy.Policy) {
+	rt := routing.NewRouting()
+	rt.Add(routing.Path{Ingress: 1, Egress: 2, Switches: []topology.SwitchID{1, 2}})
+	pol := policy.MustNew(1, []policy.Rule{
+		mk("11**", policy.Permit, 2),
+		mk("1***", policy.Drop, 1),
+	})
+	return rt, []*policy.Policy{pol}
+}
+
+func TestExhaustiveDetectsCorrectDeployment(t *testing.T) {
+	rt, pols := miniSetup()
+	net := dataplane.NewNetwork()
+	net.Table(1).Add(entry(1, "11**", policy.Permit, 2))
+	net.Table(1).Add(entry(1, "1***", policy.Drop, 1))
+	if v := Exhaustive(net, rt, pols); len(v) != 0 {
+		t.Fatalf("correct deployment flagged: %v", v)
+	}
+}
+
+func TestExhaustiveDetectsMissingDrop(t *testing.T) {
+	rt, pols := miniSetup()
+	net := dataplane.NewNetwork() // nothing installed
+	v := Exhaustive(net, rt, pols)
+	if len(v) == 0 {
+		t.Fatal("missing drop not detected")
+	}
+	if v[0].Want != policy.Drop || v[0].Got != policy.Permit {
+		t.Errorf("violation = %+v", v[0])
+	}
+	if v[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestExhaustiveDetectsMissingPermitShield(t *testing.T) {
+	// Drop placed without its higher-priority permit: 11** packets get
+	// wrongly dropped.
+	rt, pols := miniSetup()
+	net := dataplane.NewNetwork()
+	net.Table(1).Add(entry(1, "1***", policy.Drop, 1))
+	v := Exhaustive(net, rt, pols)
+	if len(v) == 0 {
+		t.Fatal("missing permit shield not detected")
+	}
+	found := false
+	for _, viol := range v {
+		if viol.Want == policy.Permit && viol.Got == policy.Drop {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected wrong-drop violation, got %v", v)
+	}
+}
+
+func TestExhaustiveDetectsWrongOrder(t *testing.T) {
+	// Permit installed BELOW the drop: priority inversion.
+	rt, pols := miniSetup()
+	net := dataplane.NewNetwork()
+	net.Table(1).Add(entry(1, "1***", policy.Drop, 2))
+	net.Table(1).Add(entry(1, "11**", policy.Permit, 1))
+	if v := Exhaustive(net, rt, pols); len(v) == 0 {
+		t.Fatal("priority inversion not detected")
+	}
+}
+
+func TestExhaustiveRespectsTrafficSlices(t *testing.T) {
+	// The drop is missing, but the path's traffic slice excludes all
+	// headers the drop matches, so no violation should fire.
+	rt := routing.NewRouting()
+	tr := match.MustParseTernary("0***")
+	rt.Add(routing.Path{Ingress: 1, Egress: 2, Switches: []topology.SwitchID{1}, Traffic: tr, HasTraffic: true})
+	pol := policy.MustNew(1, []policy.Rule{mk("1***", policy.Drop, 1)})
+	net := dataplane.NewNetwork()
+	if v := Exhaustive(net, rt, []*policy.Policy{pol}); len(v) != 0 {
+		t.Fatalf("sliced-away traffic flagged: %v", v)
+	}
+}
+
+func TestSemanticsSamplingFindsViolation(t *testing.T) {
+	// Wide-header policy (104-bit): sampling must find a missing drop.
+	rt := routing.NewRouting()
+	rt.Add(routing.Path{Ingress: 1, Egress: 2, Switches: []topology.SwitchID{1}})
+	ft := match.FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 8, ProtoAny: true}
+	pol := policy.MustNew(1, []policy.Rule{{Match: ft.Ternary(), Action: policy.Drop, Priority: 1}})
+	net := dataplane.NewNetwork()
+	if v := Semantics(net, rt, []*policy.Policy{pol}, Config{Seed: 1}); len(v) == 0 {
+		t.Fatal("sampling missed an obviously missing drop")
+	}
+	// And a correct deployment passes.
+	net2 := dataplane.NewNetwork()
+	net2.Table(1).Add(dataplane.Entry{
+		Tags:     map[topology.PortID]bool{1: true},
+		Match:    ft.Ternary(),
+		Action:   policy.Drop,
+		Priority: 1,
+	})
+	if v := Semantics(net2, rt, []*policy.Policy{pol}, Config{Seed: 1}); len(v) != 0 {
+		t.Fatalf("correct wide deployment flagged: %v", v)
+	}
+}
+
+func TestSemanticsMaxViolations(t *testing.T) {
+	rt, pols := miniSetup()
+	net := dataplane.NewNetwork()
+	v := Semantics(net, rt, pols, Config{Seed: 1, MaxViolations: 3})
+	if len(v) > 3 {
+		t.Errorf("MaxViolations not honored: %d", len(v))
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	topo, err := topology.Linear(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := dataplane.NewNetwork()
+	net.Table(0).Add(entry(1, "1*", policy.Drop, 1))
+	net.Table(0).Add(entry(1, "0*", policy.Drop, 2))
+	v := Capacities(net, topo)
+	if len(v) != 1 || v[0].Switch != 0 || v[0].Used != 2 || v[0].Cap != 1 {
+		t.Errorf("capacity audit = %v", v)
+	}
+	if v[0].String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestExhaustiveSkipsWideWidths(t *testing.T) {
+	// Policies wider than 20 bits are skipped (would be intractable).
+	rt := routing.NewRouting()
+	rt.Add(routing.Path{Ingress: 1, Egress: 2, Switches: []topology.SwitchID{1}})
+	ft := match.FiveTuple{SrcIP: 1, SrcPfxLen: 32, ProtoAny: true}
+	pol := policy.MustNew(1, []policy.Rule{{Match: ft.Ternary(), Action: policy.Drop, Priority: 1}})
+	net := dataplane.NewNetwork()
+	if v := Exhaustive(net, rt, []*policy.Policy{pol}); len(v) != 0 {
+		t.Errorf("wide policy should be skipped, got %v", v)
+	}
+}

@@ -1,0 +1,247 @@
+// Package rulefit is an adaptable rule placement engine for
+// software-defined networks, reproducing "An Adaptable Rule Placement
+// for Software-Defined Networks" (DSN 2014).
+//
+// Given a switch topology, a routing (one set of paths per network
+// ingress), and a prioritized firewall policy per ingress, rulefit
+// compiles the policies down to per-switch TCAM tables such that
+//
+//   - priority semantics are preserved (every DROP rule travels with its
+//     higher-priority overlapping PERMIT rules — the rule dependency
+//     constraint),
+//   - every DROP rule guards every path from its ingress (the path
+//     dependency constraint),
+//   - no switch exceeds its rule capacity,
+//
+// while minimizing the total number of installed rules (or a
+// traffic-weighted alternative). Placement is exact: the engine proves
+// optimality or infeasibility using either a built-in ILP solver or a
+// built-in CDCL/pseudo-Boolean solver.
+//
+// # Quick start
+//
+//	topo, _ := rulefit.FatTree(4, 200, 2)
+//	pairs, _ := rulefit.RandomPairs(topo, 32, 1)
+//	rt, _ := rulefit.BuildRouting(topo, pairs, 1)
+//	pol := rulefit.GeneratePolicy(0, rulefit.GenConfig{NumRules: 40, Seed: 7})
+//	prob := &rulefit.Problem{Network: topo, Routing: rt, Policies: []*rulefit.Policy{pol}}
+//	pl, err := rulefit.Place(prob, rulefit.Options{})
+//	tables, err := pl.BuildTables(prob)
+//
+// See examples/ for runnable end-to-end scenarios.
+package rulefit
+
+import (
+	"rulefit/internal/core"
+	"rulefit/internal/dataplane"
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+	"rulefit/internal/verify"
+)
+
+// Match types.
+type (
+	// TernaryMatch is a {0,1,*} match field over packet header bits.
+	TernaryMatch = match.Ternary
+	// FiveTuple builds header matches from prefix/port/proto fields.
+	FiveTuple = match.FiveTuple
+	// Header is a concrete 5-tuple packet header.
+	Header = match.Header
+)
+
+// HeaderWidth is the bit width of the 5-tuple header model.
+const HeaderWidth = match.HeaderWidth
+
+// Match constructors.
+var (
+	// NewTernary returns an all-wildcard match of the given bit width.
+	NewTernary = match.NewTernary
+	// ParseTernary parses a {0,1,*} pattern string.
+	ParseTernary = match.ParseTernary
+	// MustParseTernary is ParseTernary that panics on error.
+	MustParseTernary = match.MustParseTernary
+	// DstPrefixTernary matches a destination IPv4 prefix.
+	DstPrefixTernary = match.DstPrefixTernary
+	// SrcPrefixTernary matches a source IPv4 prefix.
+	SrcPrefixTernary = match.SrcPrefixTernary
+	// SampleHeader draws a random header matching a ternary.
+	SampleHeader = match.SampleHeader
+)
+
+// Topology types.
+type (
+	// Network is the switch graph with capacities and external ports.
+	Network = topology.Network
+	// Switch is one capacity-limited data-plane element.
+	Switch = topology.Switch
+	// SwitchID identifies a switch.
+	SwitchID = topology.SwitchID
+	// PortID identifies a network ingress/egress port.
+	PortID = topology.PortID
+	// ExternalPort is an ingress/egress attachment point.
+	ExternalPort = topology.ExternalPort
+)
+
+// Topology constructors.
+var (
+	// NewNetwork returns an empty topology.
+	NewNetwork = topology.NewNetwork
+	// FatTree builds the k-ary fat-tree used by the paper's evaluation.
+	FatTree = topology.FatTree
+	// LeafSpine builds a two-tier Clos fabric.
+	LeafSpine = topology.LeafSpine
+	// Linear builds a chain topology.
+	Linear = topology.Linear
+	// Ring builds a cycle topology.
+	Ring = topology.Ring
+	// Grid builds a rectangular mesh.
+	Grid = topology.Grid
+	// RandomConnected builds a seeded random connected graph.
+	RandomConnected = topology.RandomConnected
+	// Fig3 builds the paper's illustrative example network.
+	Fig3 = topology.Fig3
+)
+
+// Routing types.
+type (
+	// Routing maps each ingress to its path set P_i.
+	Routing = routing.Routing
+	// Path is one route p_{i,j}.
+	Path = routing.Path
+	// PathSet is all paths from one ingress.
+	PathSet = routing.PathSet
+	// PortPair names an ingress/egress pair to route.
+	PortPair = routing.PortPair
+)
+
+// Routing constructors.
+var (
+	// NewRouting returns an empty routing policy.
+	NewRouting = routing.NewRouting
+	// BuildRouting routes port pairs along seeded random shortest paths.
+	BuildRouting = routing.BuildRouting
+	// RandomPairs draws seeded random ingress/egress pairs.
+	RandomPairs = routing.RandomPairs
+	// SpreadPairs assigns paths evenly across the first N ingresses.
+	SpreadPairs = routing.SpreadPairs
+	// AssignTrafficSlices gives every path a destination-prefix slice.
+	AssignTrafficSlices = routing.AssignTrafficSlices
+	// EgressPrefix returns the prefix AssignTrafficSlices gives a port.
+	EgressPrefix = routing.EgressPrefix
+	// ShortestPath returns a deterministic shortest path.
+	ShortestPath = routing.ShortestPath
+	// KShortestPaths returns up to k loopless shortest paths (Yen).
+	KShortestPaths = routing.KShortestPaths
+	// BuildMultipathRouting routes each pair over k shortest paths.
+	BuildMultipathRouting = routing.BuildMultipathRouting
+)
+
+// Policy types.
+type (
+	// Policy is a prioritized ACL rule list attached to an ingress.
+	Policy = policy.Policy
+	// Rule is one ACL rule (match, action, priority).
+	Rule = policy.Rule
+	// Action is PERMIT or DROP.
+	Action = policy.Action
+	// GenConfig parameterizes the synthetic policy generator.
+	GenConfig = policy.GenConfig
+)
+
+// Policy actions.
+const (
+	Permit = policy.Permit
+	Drop   = policy.Drop
+)
+
+// Policy constructors.
+var (
+	// NewPolicy builds a validated policy from rules in any order.
+	NewPolicy = policy.New
+	// GeneratePolicy synthesizes a ClassBench-style firewall policy.
+	GeneratePolicy = policy.Generate
+	// GenerateBlacklist builds network-wide mergeable DROP rules.
+	GenerateBlacklist = policy.GenerateBlacklist
+	// WithBlacklist prepends blacklist rules to a policy.
+	WithBlacklist = policy.WithBlacklist
+	// RemoveRedundant eliminates rules that cannot affect any packet.
+	RemoveRedundant = policy.RemoveRedundant
+)
+
+// Placement types.
+type (
+	// Problem is a placement instance (network + routing + policies).
+	Problem = core.Problem
+	// Options configures the placement engine.
+	Options = core.Options
+	// Placement is a placement result.
+	Placement = core.Placement
+	// Backend selects ILP or SAT solving.
+	Backend = core.Backend
+	// Objective selects the optimization goal.
+	Objective = core.Objective
+	// Status is the placement outcome.
+	Status = core.Status
+	// Monitor declares a packet-monitoring point placement must respect.
+	Monitor = core.Monitor
+)
+
+// Placement enums.
+const (
+	BackendILP = core.BackendILP
+	BackendSAT = core.BackendSAT
+
+	ObjTotalRules       = core.ObjTotalRules
+	ObjTraffic          = core.ObjTraffic
+	ObjWeightedSwitches = core.ObjWeightedSwitches
+	ObjMinMaxLoad       = core.ObjMinMaxLoad
+
+	StatusOptimal    = core.StatusOptimal
+	StatusFeasible   = core.StatusFeasible
+	StatusInfeasible = core.StatusInfeasible
+	StatusLimit      = core.StatusLimit
+)
+
+// Placement entry points.
+var (
+	// Place solves a placement problem exactly.
+	Place = core.Place
+	// GreedyPlace runs the fast ingress-first heuristic.
+	GreedyPlace = core.GreedyPlace
+	// ReplicateEverywhere runs the p-x-r replication baseline.
+	ReplicateEverywhere = core.ReplicateEverywhere
+	// PXRBound computes the naive replication rule count.
+	PXRBound = core.PXRBound
+	// SpareCapacities reports per-switch slack after a placement.
+	SpareCapacities = core.SpareCapacities
+	// IncrementalAdd places new policies into spare capacity.
+	IncrementalAdd = core.IncrementalAdd
+	// IncrementalReroute re-places one policy after a routing change.
+	IncrementalReroute = core.IncrementalReroute
+	// WriteSMTLIB dumps the satisfiability encoding as SMT-LIB 2.
+	WriteSMTLIB = core.WriteSMTLIB
+)
+
+// Data plane and verification types.
+type (
+	// Deployment is the compiled per-switch table set.
+	Deployment = dataplane.Network
+	// TableEntry is one installed TCAM rule.
+	TableEntry = dataplane.Entry
+	// Violation is a semantic mismatch found by verification.
+	Violation = verify.Violation
+	// VerifyConfig controls verification effort.
+	VerifyConfig = verify.Config
+)
+
+// Verification entry points.
+var (
+	// VerifySemantics samples packets to compare deployment vs policy.
+	VerifySemantics = verify.Semantics
+	// VerifyExhaustive checks every header of narrow test policies.
+	VerifyExhaustive = verify.Exhaustive
+	// VerifyCapacities audits per-switch TCAM usage.
+	VerifyCapacities = verify.Capacities
+)

@@ -1,0 +1,123 @@
+package rulefit_test
+
+import (
+	"testing"
+	"time"
+
+	"rulefit"
+)
+
+// TestPublicAPIWorkflow walks the full documented workflow through the
+// public facade: topology, routing, policies, placement, tables,
+// verification, spare capacity, and incremental installation.
+func TestPublicAPIWorkflow(t *testing.T) {
+	topo, err := rulefit.FatTree(4, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := rulefit.SpreadPairs(topo, 4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := rulefit.BuildRouting(topo, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var policies []*rulefit.Policy
+	for _, in := range rt.Ingresses() {
+		policies = append(policies, rulefit.GeneratePolicy(int(in), rulefit.GenConfig{NumRules: 10, Seed: 3}))
+	}
+	prob := &rulefit.Problem{Network: topo, Routing: rt, Policies: policies}
+
+	pl, err := rulefit.Place(prob, rulefit.Options{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Status != rulefit.StatusOptimal {
+		t.Fatalf("status = %v", pl.Status)
+	}
+	tables, err := pl.BuildTables(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rulefit.VerifySemantics(tables, rt, pl.Policies, rulefit.VerifyConfig{Seed: 1}); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if v := rulefit.VerifyCapacities(tables, topo); len(v) > 0 {
+		t.Fatalf("capacity violations: %v", v)
+	}
+
+	spare := rulefit.SpareCapacities(prob, pl)
+	if len(spare) != topo.NumSwitches() {
+		t.Fatalf("spare map covers %d switches, want %d", len(spare), topo.NumSwitches())
+	}
+
+	// Baselines bracket the optimum.
+	greedy, err := rulefit.GreedyPlace(prob, rulefit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Status == rulefit.StatusFeasible && greedy.TotalRules < pl.TotalRules {
+		t.Fatalf("greedy (%d) beat the proven optimum (%d)", greedy.TotalRules, pl.TotalRules)
+	}
+	repl, err := rulefit.ReplicateEverywhere(prob, rulefit.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.TotalRules < pl.TotalRules {
+		t.Fatalf("replication (%d) beat the optimum (%d)", repl.TotalRules, pl.TotalRules)
+	}
+	if bound := rulefit.PXRBound(prob); repl.TotalRules > bound {
+		t.Fatalf("replication (%d) above the p x r bound (%d)", repl.TotalRules, bound)
+	}
+}
+
+// TestPublicAPIBackendsAgree checks both solver backends prove the same
+// optimum through the facade.
+func TestPublicAPIBackendsAgree(t *testing.T) {
+	topo := rulefit.Fig3(4)
+	rt, err := rulefit.BuildRouting(topo, []rulefit.PortPair{{In: 1, Out: 2}, {In: 1, Out: 3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := rulefit.NewPolicy(1, []rulefit.Rule{
+		{Match: rulefit.MustParseTernary("1100****"), Action: rulefit.Permit, Priority: 3},
+		{Match: rulefit.MustParseTernary("11******"), Action: rulefit.Drop, Priority: 2},
+		{Match: rulefit.MustParseTernary("00******"), Action: rulefit.Drop, Priority: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &rulefit.Problem{Network: topo, Routing: rt, Policies: []*rulefit.Policy{pol}}
+
+	ilpPl, err := rulefit.Place(prob, rulefit.Options{Backend: rulefit.BackendILP, TimeLimit: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	satPl, err := rulefit.Place(prob, rulefit.Options{Backend: rulefit.BackendSAT, TimeLimit: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilpPl.Status != rulefit.StatusOptimal || satPl.Status != rulefit.StatusOptimal {
+		t.Fatalf("statuses: %v, %v", ilpPl.Status, satPl.Status)
+	}
+	if ilpPl.TotalRules != satPl.TotalRules {
+		t.Fatalf("optima differ: %d vs %d", ilpPl.TotalRules, satPl.TotalRules)
+	}
+}
+
+// TestPublicAPIMatchHelpers exercises the re-exported match utilities.
+func TestPublicAPIMatchHelpers(t *testing.T) {
+	ft := rulefit.FiveTuple{SrcIP: 0x0A000000, SrcPfxLen: 8, ProtoAny: true}
+	tn := ft.Ternary()
+	if tn.Width() != rulefit.HeaderWidth {
+		t.Fatalf("width = %d", tn.Width())
+	}
+	h := rulefit.Header{SrcIP: 0x0A010203}
+	if !tn.MatchesWords(h.Words()) {
+		t.Error("10.x header should match 10/8 source prefix")
+	}
+	if rulefit.DstPrefixTernary(0x0B000000, 8).Overlaps(tn) == false {
+		t.Error("independent src/dst constraints must overlap")
+	}
+}
