@@ -1,0 +1,184 @@
+// Package analysistest runs analyzers over testdata fixture packages and
+// checks their diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the local
+// analysis framework.
+//
+// A fixture file marks each expected diagnostic with a trailing comment:
+//
+//	x := a == b // want "exact floating-point comparison"
+//
+// The string is a regular expression matched against the diagnostic
+// message reported on that line. Lines without a want comment must
+// produce no diagnostics.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rulefit/internal/analysis"
+)
+
+// TestData returns the caller's testdata directory.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package, applies
+// the analyzer, and reports mismatches against // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		loaded, err := analysis.Load(dir, ".")
+		if err != nil {
+			t.Errorf("%s: loading fixture: %v", name, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers(loaded, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: running %s: %v", name, a.Name, err)
+			continue
+		}
+		checkWants(t, dir, diags)
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants compares diagnostics in dir against the fixtures' // want
+// comments.
+func checkWants(t *testing.T, dir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Errorf("%s: %v", dir, err)
+		return
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts // want expectations from every fixture file, in
+// sorted file order so expectation mismatches report deterministically.
+func parseWants(dir string) ([]*want, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var out []*want
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWantComment(fset, c)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ws...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWantComment parses one comment, which may hold several quoted
+// expectations: // want "re1" "re2".
+func parseWantComment(fset *token.FileSet, c *ast.Comment) ([]*want, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var out []*want
+	for rest != "" {
+		if rest[0] != '"' {
+			return nil, &wantError{pos, "expectation must be a quoted string"}
+		}
+		lit, remainder, err := cutQuoted(rest)
+		if err != nil {
+			return nil, &wantError{pos, err.Error()}
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, &wantError{pos, "bad regexp: " + err.Error()}
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(remainder)
+	}
+	return out, nil
+}
+
+// cutQuoted splits a leading Go-quoted string from its remainder.
+func cutQuoted(s string) (lit, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", &wantError{token.Position{}, "unterminated expectation string"}
+}
+
+// wantError is a parse failure inside a want comment.
+type wantError struct {
+	pos token.Position
+	msg string
+}
+
+func (e *wantError) Error() string {
+	if e.pos.Filename == "" {
+		return e.msg
+	}
+	return e.pos.String() + ": " + e.msg
+}

@@ -1,0 +1,119 @@
+// Package errcheck flags dropped error returns from this module's own
+// APIs. Solver and placement entry points (rulefit, rulefit/internal/...)
+// report infeasibility, validation failures and numeric trouble through
+// their error results; discarding one silently turns "the solver failed"
+// into "the placement is empty". Third-party and standard-library calls
+// are out of scope — this is the repo-specific gate, not a general
+// errcheck replacement.
+package errcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rulefit/internal/analysis"
+)
+
+// ModulePrefix scopes the check to this module's packages.
+const ModulePrefix = "rulefit"
+
+// Analyzer flags dropped errors from rulefit package APIs.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcheck",
+	Doc:  "flags dropped error results from rulefit module APIs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				checkCall(pass, st.X, nil)
+			case *ast.DeferStmt:
+				checkCall(pass, st.Call, nil)
+			case *ast.GoStmt:
+				checkCall(pass, st.Call, nil)
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 {
+					checkCall(pass, st.Rhs[0], st.Lhs)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall reports a dropped error when expr is a call to a rulefit API
+// returning an error that the statement discards. lhs is the assignment
+// targets (nil for a bare call/defer/go).
+func checkCall(pass *analysis.Pass, expr ast.Expr, lhs []ast.Expr) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, pkgPath, sig := calleeInfo(pass, call)
+	if sig == nil || !inModule(pkgPath) {
+		return
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		if lhs == nil {
+			pass.Reportf(call.Pos(), "error result of %s is dropped; handle it", name)
+			return
+		}
+		// Multi-assign: the i-th lhs receives the i-th result.
+		if i < len(lhs) && isBlank(lhs[i]) {
+			pass.Reportf(call.Pos(), "error result of %s is assigned to _; handle it", name)
+			return
+		}
+	}
+}
+
+// calleeInfo resolves the called function's display name, defining
+// package path and signature (nil when not a static call).
+func calleeInfo(pass *analysis.Pass, call *ast.CallExpr) (string, string, *types.Signature) {
+	var obj types.Object
+	var name string
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fn]
+		name = fn.Name
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fn.Sel]
+		name = fn.Sel.Name
+	default:
+		return "", "", nil
+	}
+	fnObj, ok := obj.(*types.Func)
+	if !ok {
+		return "", "", nil
+	}
+	sig, ok := fnObj.Type().(*types.Signature)
+	if !ok || fnObj.Pkg() == nil {
+		return "", "", nil
+	}
+	return name, fnObj.Pkg().Path(), sig
+}
+
+// inModule reports whether a package path is inside this module.
+func inModule(path string) bool {
+	return path == ModulePrefix || strings.HasPrefix(path, ModulePrefix+"/")
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// isBlank reports whether an expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,12 @@
+package errcheck_test
+
+import (
+	"testing"
+
+	"rulefit/internal/analysis/analysistest"
+	"rulefit/internal/analysis/errcheck"
+)
+
+func TestErrcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errcheck.Analyzer, "a")
+}

@@ -1,0 +1,38 @@
+// Fixture for the errcheck analyzer. This package lives under the
+// rulefit module path, so its own APIs are in scope; fmt is not.
+package a
+
+import "fmt"
+
+type store struct{}
+
+func (s *store) Flush() error            { return nil }
+func open(name string) (*store, error)   { return nil, fmt.Errorf("no %s", name) }
+func count(name string) (int, error)     { return 0, nil }
+func describe(name string) (string, int) { return name, 0 }
+
+func positives(s *store) {
+	s.Flush()          // want "error result of Flush is dropped"
+	open("x")          // want "error result of open is dropped"
+	_ = s.Flush()      // want "error result of Flush is assigned to _"
+	_, _ = count("x")  // want "error result of count is assigned to _"
+	n, _ := count("x") // want "error result of count is assigned to _"
+	_ = n
+	defer s.Flush() // want "error result of Flush is dropped"
+	go s.Flush()    // want "error result of Flush is dropped"
+}
+
+func negatives(s *store) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	st, err := open("x")
+	if err != nil {
+		return err
+	}
+	_, _ = describe("x") // no error result to drop
+	fmt.Println("hello") // outside the module: out of scope
+	//lint:errcheck flush failure is unrecoverable here and deliberately ignored
+	_ = st.Flush()
+	return nil
+}

@@ -1,0 +1,51 @@
+// Package floatcmp flags exact == / != comparisons between
+// floating-point values. In simplex/branch-and-bound code an exact
+// comparison on a computed float is almost always a latent bug: values
+// that are mathematically zero carry rounding noise, so the comparison
+// silently flips behaviour between runs and platforms. Use the solver's
+// tolerance constants instead, or annotate intentionally-exact checks
+// (values only ever assigned, never computed) with
+//
+//	//lint:exactfloat <why the value is exact>
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+
+	"rulefit/internal/analysis"
+)
+
+// Analyzer flags exact floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact ==/!= comparisons on floating-point values; use a tolerance or annotate //lint:exactfloat",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.TypesInfo.Types[be.X]
+			yt, yok := pass.TypesInfo.Types[be.Y]
+			if !xok || !yok || !analysis.IsFloat(xt.Type) || !analysis.IsFloat(yt.Type) {
+				return true
+			}
+			// Comparing two compile-time constants is exact by definition.
+			if xt.Value != nil && yt.Value != nil {
+				return true
+			}
+			// The documented opt-out alias.
+			if pass.Suppressed(be.Pos(), "exactfloat") {
+				return true
+			}
+			pass.Reportf(be.Pos(), "exact floating-point comparison (%s); use a tolerance, or annotate //lint:exactfloat with a reason", be.Op)
+			return true
+		})
+	}
+	return nil
+}

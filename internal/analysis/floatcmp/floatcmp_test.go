@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"rulefit/internal/analysis/analysistest"
+	"rulefit/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floatcmp.Analyzer, "a")
+}

@@ -1,0 +1,41 @@
+// Fixture for the floatcmp analyzer: positive and negative cases.
+package a
+
+import "math"
+
+const tol = 1e-9
+
+func positives(x, y float64, f float32) bool {
+	if x == y { // want "exact floating-point comparison"
+		return true
+	}
+	if x != 0 { // want "exact floating-point comparison"
+		return true
+	}
+	if f == 1.5 { // want "exact floating-point comparison"
+		return true
+	}
+	return x == math.Sqrt(y) // want "exact floating-point comparison"
+}
+
+func negatives(x, y float64, n int) bool {
+	if math.Abs(x-y) < tol { // tolerance comparison: fine
+		return true
+	}
+	if n == 0 { // integers compare exactly
+		return true
+	}
+	if x < y || x >= y { // ordered comparisons are not equality
+		return true
+	}
+	const a, b = 1.5, 2.5
+	return a == b // both operands constant: exact by definition
+}
+
+func suppressed(x float64) bool {
+	//lint:exactfloat x is only ever assigned the sentinel value
+	if x == -1 {
+		return true
+	}
+	return x == 0 //lint:exactfloat stored sentinel, never computed
+}

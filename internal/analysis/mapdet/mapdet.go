@@ -1,0 +1,180 @@
+// Package mapdet flags range statements over maps whose loop bodies have
+// iteration-order-dependent effects: appending values to a slice,
+// emitting solver model objects (AddConstraint/AddClause/...), or
+// writing formatted output. Go randomizes map iteration order, so such
+// loops make model construction — and therefore simplex pivoting, branch
+// & bound order and the final placement — differ between identical runs.
+//
+// The standard fix is the repo's sorted-keys idiom:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+//	for _, k := range keys { ... }
+//
+// Key-collection loops (bodies that only append the range key itself)
+// are recognized as the first half of that idiom and not flagged. Loops
+// whose per-iteration effects are provably independent (e.g. mutating a
+// distinct keyed object per iteration) may be annotated
+//
+//	//lint:mapdet <why order cannot matter>
+package mapdet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rulefit/internal/analysis"
+)
+
+// Analyzer flags order-dependent iteration over maps.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapdet",
+	Doc:  "flags map iteration with order-dependent effects (append/emit/write); iterate sorted keys instead",
+	Run:  run,
+}
+
+// emitNames are callee names treated as order-sensitive emission: solver
+// model construction and stream/builder output.
+var emitNames = map[string]bool{
+	"AddConstraint": true, "AddClause": true, "AddPB": true,
+	"AddVar": true, "AddBinary": true, "NewVar": true,
+	"addVar": true, "Add": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"WriteString": true, "WriteByte": true, "WriteRune": true, "Write": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := orderDependentEffect(pass, rs); reason != "" {
+				pass.Reportf(rs.Pos(), "iteration over map has order-dependent effect (%s); iterate sorted keys, or annotate //lint:mapdet with a reason", reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderDependentEffect scans a map-range body for effects whose result
+// depends on iteration order, returning a short description or "".
+func orderDependentEffect(pass *analysis.Pass, rs *ast.RangeStmt) string {
+	keyObj := rangeVarObj(pass, rs.Key)
+	// Appends stored back into a map entry indexed by the loop's own key
+	// (m2[k] = append(...)) touch a distinct element per iteration, so
+	// order cannot matter.
+	keyed := keyedAppends(pass, rs, keyObj)
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "append" && !keyed[call] {
+				if !appendsOnlyKey(pass, call, keyObj) {
+					reason = "append of non-key values"
+				}
+				return true
+			}
+		case *ast.SelectorExpr:
+			if emitNames[fn.Sel.Name] {
+				reason = "call to " + fn.Sel.Name
+				return true
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// keyedAppends collects append calls of the form x[k] = append(...),
+// where k is the range key: their effect is confined to a per-key slot.
+func keyedAppends(pass *analysis.Pass, rs *ast.RangeStmt, keyObj types.Object) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	if keyObj == nil {
+		return out
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		idx, ok := as.Lhs[0].(*ast.IndexExpr)
+		if !ok || !derivesOnlyFrom(pass, idx.Index, keyObj) {
+			return true
+		}
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+				out[call] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rangeVarObj resolves the declared object of a range key/value ident.
+func rangeVarObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// appendsOnlyKey reports whether every appended element is the range key
+// itself (possibly via a conversion), i.e. the loop is the key-collection
+// half of the collect-sort-iterate idiom.
+func appendsOnlyKey(pass *analysis.Pass, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if !derivesOnlyFrom(pass, arg, keyObj) {
+			return false
+		}
+	}
+	return true
+}
+
+// derivesOnlyFrom reports whether expr is the given object, possibly
+// wrapped in type conversions or parentheses.
+func derivesOnlyFrom(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e] == obj
+	case *ast.ParenExpr:
+		return derivesOnlyFrom(pass, e.X, obj)
+	case *ast.CallExpr:
+		// Type conversion of the key: T(k).
+		if len(e.Args) != 1 {
+			return false
+		}
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return derivesOnlyFrom(pass, e.Args[0], obj)
+		}
+		return false
+	default:
+		return false
+	}
+}

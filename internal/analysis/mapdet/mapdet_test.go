@@ -1,0 +1,12 @@
+package mapdet_test
+
+import (
+	"testing"
+
+	"rulefit/internal/analysis/analysistest"
+	"rulefit/internal/analysis/mapdet"
+)
+
+func TestMapdet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapdet.Analyzer, "a")
+}

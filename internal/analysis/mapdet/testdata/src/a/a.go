@@ -1,0 +1,87 @@
+// Fixture for the mapdet analyzer: positive and negative cases.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// model stands in for a solver model with emit-style methods.
+type model struct{ n int }
+
+func (m *model) AddConstraint(v int) { m.n += v }
+func (m *model) AddClause(v int)     { m.n += v }
+
+func appendValues(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "order-dependent effect .append of non-key values."
+		out = append(out, v)
+	}
+	return out
+}
+
+func emitModel(m map[int]int, mdl *model) {
+	for _, v := range m { // want "order-dependent effect .call to AddConstraint."
+		mdl.AddConstraint(v)
+	}
+}
+
+func writeOut(m map[string]int, w io.Writer) {
+	for k, v := range m { // want "order-dependent effect .call to Fprintf."
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func keyThenValue(m map[int]string) []string {
+	// Sorted-keys idiom: the collection loop appends only the key.
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+type id int
+
+func keyConversion(m map[id]bool) []int {
+	var out []int
+	for k := range m { // conversion of the key still counts as key-only
+		out = append(out, int(k))
+	}
+	sort.Ints(out)
+	return out
+}
+
+func orderFree(m map[int]int) int {
+	total := 0
+	for _, v := range m { // commutative reduction: fine
+		total += v
+	}
+	for k := range m { // deletion is order-independent
+		if k < 0 {
+			delete(m, k)
+		}
+	}
+	return total
+}
+
+func keyedCopy(m map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(m))
+	for k, vs := range m { // per-key slot: order cannot matter
+		out[k] = append([]int(nil), vs...)
+	}
+	return out
+}
+
+func suppressed(m map[int]*model) {
+	//lint:mapdet each iteration mutates only its own model; no shared state
+	for _, mdl := range m {
+		mdl.AddClause(1)
+	}
+}

@@ -1,0 +1,12 @@
+package optzero_test
+
+import (
+	"testing"
+
+	"rulefit/internal/analysis/analysistest"
+	"rulefit/internal/analysis/optzero"
+)
+
+func TestOptzero(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), optzero.Analyzer, "a")
+}

@@ -1,0 +1,24 @@
+// Fixture for the optzero analyzer: solver/verifier option literals.
+package a
+
+import (
+	"time"
+
+	"rulefit/internal/ilp"
+	"rulefit/internal/verify"
+)
+
+func positives() {
+	_ = ilp.Options{}                      // want "ilp.Options without TimeLimit or NodeLimit"
+	_ = ilp.Options{DisablePresolve: true} // want "ilp.Options without TimeLimit or NodeLimit"
+	_ = verify.Config{}                    // want "zero-value verify.Config"
+}
+
+func negatives() {
+	_ = ilp.Options{TimeLimit: time.Minute}
+	_ = ilp.Options{NodeLimit: 100}
+	_ = ilp.Options{TimeLimit: time.Second, FullPricing: true}
+	_ = verify.Config{Seed: 7}
+	//lint:optzero ablation harness: unbounded solve is the point
+	_ = ilp.Options{}
+}

@@ -439,8 +439,8 @@ func sortedSwitches(set map[topology.SwitchID]bool) []topology.SwitchID {
 	return out
 }
 
-// sortedSwitchKeys sorts the keys of a per-switch member map.
-func sortedSwitchKeys(m map[topology.SwitchID][]int) []topology.SwitchID {
+// sortedSwitchKeys sorts the keys of a per-switch map.
+func sortedSwitchKeys[V any](m map[topology.SwitchID]V) []topology.SwitchID {
 	out := make([]topology.SwitchID, 0, len(m))
 	for sw := range m {
 		out = append(out, sw)

@@ -44,7 +44,7 @@ func networkWithCapacities(topo *topology.Network, caps map[topology.SwitchID]in
 		if v < 0 {
 			v = 0
 		}
-		// Ignore unknown-switch errors: caps comes from this topology.
+		//lint:errcheck caps keys come from this topology, so unknown-switch cannot happen
 		_ = c.SetSwitchCapacity(id, v)
 	}
 	return c

@@ -57,9 +57,44 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 
 // solveILP encodes to the MILP solver (Eqs. 1–5) and extracts the result.
 func solveILP(enc *encoding, opts Options) (*Placement, error) {
-	m := ilp.NewModel()
+	m, ids, zVar := buildILPModel(enc, opts)
+	sol, err := ilp.Solve(m, ilp.Options{TimeLimit: opts.TimeLimit, DisablePresolve: opts.DisablePresolve})
+	if err != nil {
+		return nil, err
+	}
+	pl := &Placement{Policies: enc.policies, Groups: enc.groups}
+	pl.Stats.SimplexIters = sol.Stats.SimplexIters
+	pl.Stats.BnBNodes = sol.Stats.Nodes
+	switch sol.Status {
+	case ilp.Optimal:
+		pl.Status = StatusOptimal
+	case ilp.Feasible:
+		pl.Status = StatusFeasible
+	case ilp.Infeasible:
+		pl.Status = StatusInfeasible
+		return pl, nil
+	default:
+		pl.Status = StatusLimit
+		return pl, nil
+	}
+	assignment := func(id int) bool { return sol.Values[ids[id]] > 0.5 }
+	extract(enc, pl, assignment)
+	pl.Objective = sol.Objective
+	if zVar >= 0 {
+		pl.MaxLoad = sol.Values[zVar]
+	}
+	return pl, nil
+}
+
+// buildILPModel translates an encoding into the MILP model. It returns
+// the model, the ilp variable index for each encoding variable, and the
+// index of the max-load variable z (-1 when absent). The construction is
+// deterministic: identical encodings yield models whose LP serialization
+// is byte-identical (see TestILPModelDeterministic).
+func buildILPModel(enc *encoding, opts Options) (m *ilp.Model, ids []int, zVar int) {
+	m = ilp.NewModel()
 	weights := enc.objectiveWeights()
-	ids := make([]int, len(enc.vars))
+	ids = make([]int, len(enc.vars))
 	for id := range enc.vars {
 		obj := float64(weights[id])
 		if opts.SatisfyOnly {
@@ -70,7 +105,7 @@ func solveILP(enc *encoding, opts Options) (*Placement, error) {
 	// ObjMinMaxLoad: a continuous z dominating every switch's TCAM
 	// utilization fraction, minimized lexicographically above the rule
 	// count (the tiebreak keeps placements small within the same load).
-	zVar := -1
+	zVar = -1
 	if opts.Objective == ObjMinMaxLoad && !opts.SatisfyOnly {
 		zVar = m.AddVar("z", 0, 1, float64(len(enc.vars)+1))
 		for _, row := range enc.capRows {
@@ -129,33 +164,7 @@ func solveILP(enc *encoding, opts Options) (*Placement, error) {
 		}
 		m.AddConstraint(terms, ilp.LE, float64(row.cap), "cap")
 	}
-
-	sol, err := ilp.Solve(m, ilp.Options{TimeLimit: opts.TimeLimit, DisablePresolve: opts.DisablePresolve})
-	if err != nil {
-		return nil, err
-	}
-	pl := &Placement{Policies: enc.policies, Groups: enc.groups}
-	pl.Stats.SimplexIters = sol.Stats.SimplexIters
-	pl.Stats.BnBNodes = sol.Stats.Nodes
-	switch sol.Status {
-	case ilp.Optimal:
-		pl.Status = StatusOptimal
-	case ilp.Feasible:
-		pl.Status = StatusFeasible
-	case ilp.Infeasible:
-		pl.Status = StatusInfeasible
-		return pl, nil
-	default:
-		pl.Status = StatusLimit
-		return pl, nil
-	}
-	assignment := func(id int) bool { return sol.Values[ids[id]] > 0.5 }
-	extract(enc, pl, assignment)
-	pl.Objective = sol.Objective
-	if zVar >= 0 {
-		pl.MaxLoad = sol.Values[zVar]
-	}
-	return pl, nil
+	return m, ids, zVar
 }
 
 // solveSAT encodes to the CDCL/PB solver (Eqs. 6–8) and extracts.

@@ -82,7 +82,8 @@ func (pl *Placement) BuildTables(prob *Problem) (*dataplane.Network, error) {
 		}
 	}
 
-	for sw, pends := range bySwitch {
+	for _, sw := range sortedSwitchKeys(bySwitch) {
+		pends := bySwitch[sw]
 		order, err := orderEntries(pends)
 		if err != nil {
 			return nil, fmt.Errorf("core: switch %d: %w", sw, err)

@@ -156,6 +156,7 @@ func (n *Network) CapacityViolations(topo *topology.Network) []topology.SwitchID
 // original order is preserved by stacking the other network's entries
 // below the existing ones.
 func (n *Network) Merge(o *Network) {
+	//lint:mapdet each iteration mutates only the table keyed by id; no cross-key state
 	for id, ot := range o.Tables {
 		t := n.Table(id)
 		// Re-prioritize: existing entries keep the high band.

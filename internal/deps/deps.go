@@ -233,7 +233,16 @@ func mergeOrderEdges(policies []*policy.Policy, gs []MergeGroup) (map[int][]int,
 			if a == b || gs[a].Action == gs[b].Action {
 				continue
 			}
-			for pi, ra := range memberIn[a] {
+			// The first qualifying policy becomes the edge's witness (and
+			// later the dummy-rule victim), so iterate policies in sorted
+			// order: map order here would make placements nondeterministic.
+			pis := make([]int, 0, len(memberIn[a]))
+			for pi := range memberIn[a] {
+				pis = append(pis, pi)
+			}
+			sort.Ints(pis)
+			for _, pi := range pis {
+				ra := memberIn[a][pi]
 				rb, ok := memberIn[b][pi]
 				if !ok {
 					continue

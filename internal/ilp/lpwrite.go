@@ -19,6 +19,7 @@ func (m *Model) WriteLP(w io.Writer) error {
 	sb.WriteString("Minimize\n obj:")
 	wrote := false
 	for j, v := range m.vars {
+		//lint:exactfloat objective coefficients are stored caller inputs; only exact zeros are omitted from the rendered file
 		if v.obj == 0 {
 			continue
 		}

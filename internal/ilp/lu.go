@@ -3,6 +3,8 @@ package ilp
 import (
 	"errors"
 	"math"
+
+	"rulefit/internal/invariant"
 )
 
 // Sparse LU factorization of a square basis matrix, in the Gilbert-Peierls
@@ -87,6 +89,7 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 			k := order[idx]
 			pr := f.pivotRow[k]
 			xk := dense[pr]
+			//lint:exactfloat sparsity skip: only exact zeros (untouched scatter slots) may be skipped without changing the factorization
 			if xk == 0 {
 				continue
 			}
@@ -129,6 +132,7 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 			v := dense[r]
 			mark[r] = false
 			dense[r] = 0
+			//lint:exactfloat exact-zero fill-in carries no information; near-zeros are dropped below against 1e-13 thresholds
 			if v == 0 || r == pivot {
 				continue
 			}
@@ -142,6 +146,27 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 		}
 		f.ucols[j] = ucol
 		f.lcols[j] = lcol
+	}
+	if invariant.Enabled {
+		// Roundtrip probe: solve B x = B·1 and expect x ≈ 1. The error
+		// scales with the basis condition number, so the tolerance is
+		// generous — this asserts a structurally broken factorization
+		// (bad permutation, dropped column), not numerical accuracy.
+		probe := make([]float64, m)
+		for _, col := range cols {
+			for _, e := range col {
+				probe[e.row] += e.val
+			}
+		}
+		f.ftran(probe)
+		worst := 0.0
+		for _, x := range probe {
+			if d := math.Abs(x - 1); d > worst {
+				worst = d
+			}
+		}
+		invariant.Assert(worst <= 1e-3*float64(1+m),
+			"luFactorize: roundtrip probe error %g on %d x %d basis", worst, m, m)
 	}
 	return f, nil
 }
@@ -184,6 +209,7 @@ func (f *luFactor) ftran(b []float64) {
 	// Forward solve L y = Pb: process factor columns in order.
 	for j := 0; j < f.m; j++ {
 		y := b[f.pivotRow[j]]
+		//lint:exactfloat sparsity skip of exact zeros in the solve vector; any nonzero, however small, must propagate
 		if y == 0 {
 			continue
 		}
@@ -199,6 +225,7 @@ func (f *luFactor) ftran(b []float64) {
 	for j := f.m - 1; j >= 0; j-- {
 		x[j] /= f.udiag[j]
 		xj := x[j]
+		//lint:exactfloat sparsity skip of exact zeros in the solve vector; any nonzero, however small, must propagate
 		if xj == 0 {
 			continue
 		}

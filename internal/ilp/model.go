@@ -114,6 +114,7 @@ func combineTerms(terms []Term) []Term {
 	}
 	w := 0
 	for _, t := range out {
+		//lint:exactfloat only exactly-cancelled coefficients may be dropped; a tiny residual coefficient is still part of the model
 		if t.Coef != 0 {
 			out[w] = t
 			w++

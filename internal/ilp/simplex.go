@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"time"
+
+	"rulefit/internal/invariant"
 )
 
 // Bounded-variable revised simplex. The LP is held in computational
@@ -187,6 +189,7 @@ func (s *lpSolver) refactorize() error {
 			continue
 		}
 		xj := s.nonbasicValue(j)
+		//lint:exactfloat nonbasic values are stored bounds (or literal 0), never computed; skipping only exact zeros is a pure sparsity fast path
 		if xj == 0 {
 			continue
 		}
@@ -194,8 +197,35 @@ func (s *lpSolver) refactorize() error {
 			r[e.row] -= e.val * xj
 		}
 	}
+	var rhsCopy []float64
+	if invariant.Enabled {
+		rhsCopy = append([]float64(nil), r[:s.m]...)
+	}
 	s.factor.ftran(r)
 	copy(s.xB, r)
+	if invariant.Enabled {
+		// Residual check: B xB must reproduce the reduced right-hand
+		// side the solve started from. Unlike a roundtrip through
+		// B^{-1}, the residual is not amplified by conditioning, so a
+		// violation means the factorization or the basis list is stale.
+		res := make([]float64, s.m)
+		copy(res, rhsCopy)
+		scale := 1.0
+		for _, v := range rhsCopy {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i, v := range s.basic {
+			for _, e := range s.cols[v] {
+				res[e.row] -= e.val * s.xB[i]
+			}
+		}
+		for i, v := range res {
+			invariant.Assert(math.Abs(v) <= 1e-6*scale,
+				"refactorize: basis residual %g at row %d exceeds %g (m=%d)", v, i, 1e-6*scale, s.m)
+		}
+	}
 	return nil
 }
 
@@ -211,7 +241,9 @@ func (s *lpSolver) ftran(j int, out []float64) {
 	for _, et := range s.etas {
 		xp := out[et.p] / et.wp
 		out[et.p] = xp
-		if xp == 0 {
+		// xp is computed, so compare against the same drop tolerance the
+		// eta file itself is truncated with, not exact zero.
+		if math.Abs(xp) < zeroTol {
 			continue
 		}
 		for _, e := range et.w {
@@ -265,6 +297,7 @@ func (s *lpSolver) objective() float64 {
 		v += s.cost[b] * s.xB[i]
 	}
 	for j := 0; j < s.n; j++ {
+		//lint:exactfloat cost entries are stored objective coefficients (or 0/1 phase costs), never computed
 		if s.state[j] != stBasic && s.cost[j] != 0 {
 			v += s.cost[j] * s.nonbasicValue(j)
 		}
@@ -287,6 +320,7 @@ func (s *lpSolver) price(y []float64, bland bool) int {
 	}
 	score := func(j int) float64 {
 		st := s.state[j]
+		//lint:exactfloat fixed-variable test on stored bounds; bounds are assigned, never computed
 		if st == stBasic || s.lo[j] == s.hi[j] {
 			return 0
 		}
@@ -420,6 +454,7 @@ func (s *lpSolver) solve() (lpStatus, error) {
 		// Apply the step.
 		if tMax > 0 {
 			for i := 0; i < s.m; i++ {
+				//lint:exactfloat w is scattered dense; rows never touched by ftran hold exact zeros, and skipping only those is a sparsity fast path
 				if w[i] != 0 {
 					s.xB[i] -= dir * tMax * w[i]
 				}
@@ -629,6 +664,7 @@ func (s *lpSolver) rebuildFromStates() {
 	copy(r, s.rhs)
 	for j := 0; j < s.nOrig; j++ {
 		xj := s.nonbasicValue(j)
+		//lint:exactfloat nonbasic values are stored bounds (or literal 0), never computed; sparsity fast path
 		if xj == 0 {
 			continue
 		}

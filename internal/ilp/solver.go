@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"rulefit/internal/invariant"
 )
 
 // Options controls a solve.
@@ -44,6 +46,17 @@ func Solve(m *Model, opts Options) (Solution, error) {
 		switch presolve(m, lo, hi, &stats) {
 		case presolveInfeasible:
 			return Solution{Status: Infeasible, Stats: stats}, nil
+		}
+		if invariant.Enabled {
+			// Presolve reports infeasibility itself; surviving it with
+			// crossed or widened bounds means a propagation bug.
+			for j := range lo {
+				invariant.Assert(lo[j] <= hi[j]+1e-9,
+					"presolve: variable %d bounds crossed: [%g, %g]", j, lo[j], hi[j])
+				invariant.Assert(lo[j] >= m.vars[j].lo-1e-9 && hi[j] <= m.vars[j].hi+1e-9,
+					"presolve: variable %d bounds [%g, %g] widened beyond model [%g, %g]",
+					j, lo[j], hi[j], m.vars[j].lo, m.vars[j].hi)
+			}
 		}
 	}
 
@@ -187,12 +200,14 @@ type nodeFrame struct {
 	children     [2][2]float64 // {lo, hi} per child, dive-first order
 	next         int           // next child index to try (0, 1, or 2=done)
 	state        []int8        // parent states for structurals+slacks
+	parentBound  float64       // parent's LP objective, for monotonicity checks
 }
 
 func (b *bnb) run(lo, hi []float64) (Solution, error) {
 	m := b.model
 	b.objIntegral = true
 	for _, v := range m.vars {
+		//lint:exactfloat integrality test: Trunc(x) == x exactly iff x is an integer; a tolerance would mis-classify near-integers
 		if v.obj != math.Trunc(v.obj) {
 			b.objIntegral = false
 			break
@@ -257,6 +272,12 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 		switch st {
 		case lpOptimal:
 			bound := s.structuralObjective()
+			// A child LP is the parent LP plus one tightened bound, so
+			// (minimizing) its objective can only rise. A drop means the
+			// warm start resumed from a corrupted basis.
+			invariant.Assert(bound >= top.parentBound-1e-6,
+				"branch&bound: child LP bound %g below parent bound %g on variable %d",
+				bound, top.parentBound, top.variable)
 			if b.objIntegral {
 				bound = math.Ceil(bound - 1e-6)
 			}
@@ -329,10 +350,11 @@ func (b *bnb) push(stack []*nodeFrame, s *lpSolver, j int) []*nodeFrame {
 	x := s.primalValues()[j]
 	floor := math.Floor(x)
 	fr := &nodeFrame{
-		variable: j,
-		oldLo:    s.lo[j],
-		oldHi:    s.hi[j],
-		state:    append([]int8(nil), s.state[:s.nOrig+s.m]...),
+		variable:    j,
+		oldLo:       s.lo[j],
+		oldHi:       s.hi[j],
+		state:       append([]int8(nil), s.state[:s.nOrig+s.m]...),
+		parentBound: s.structuralObjective(),
 	}
 	down := [2]float64{s.lo[j], floor}
 	up := [2]float64{floor + 1, s.hi[j]}

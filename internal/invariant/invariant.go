@@ -1,0 +1,32 @@
+//go:build rulefitdebug
+
+// Package invariant provides runtime sanity checks that are compiled in
+// only under the rulefitdebug build tag:
+//
+//	go test -tags rulefitdebug ./...
+//
+// In normal builds every call site compiles to nothing (Enabled is a
+// false constant, so gated blocks are dead code and the linker drops
+// them). The checks assert structural corruption — a wrong permutation,
+// a stale factorization, crossed bounds — not tight numerics, so their
+// tolerances are deliberately generous.
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checks are compiled in. Gate any
+// non-trivial check computation on it so the work disappears from
+// release builds:
+//
+//	if invariant.Enabled {
+//	    res := expensiveResidual(...)
+//	    invariant.Assert(res < tol, "residual %g", res)
+//	}
+const Enabled = true
+
+// Assert panics with a formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

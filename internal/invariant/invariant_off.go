@@ -1,0 +1,9 @@
+//go:build !rulefitdebug
+
+package invariant
+
+// Enabled is false in normal builds: checks gated on it are dead code.
+const Enabled = false
+
+// Assert is a no-op in normal builds.
+func Assert(cond bool, format string, args ...any) {}

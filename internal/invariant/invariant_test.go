@@ -1,0 +1,25 @@
+package invariant
+
+import "testing"
+
+func TestAssertTrueNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Assert(true) panicked: %v", r)
+		}
+	}()
+	Assert(true, "should not fire")
+}
+
+func TestAssertFalse(t *testing.T) {
+	defer func() {
+		r := recover()
+		if Enabled && r == nil {
+			t.Fatal("Assert(false) did not panic with checks enabled")
+		}
+		if !Enabled && r != nil {
+			t.Fatalf("Assert(false) panicked in a release build: %v", r)
+		}
+	}()
+	Assert(false, "value %d out of range", 42)
+}

@@ -33,6 +33,7 @@ type GenConfig struct {
 
 // withDefaults fills zero fields with sensible defaults.
 func (c GenConfig) withDefaults() GenConfig {
+	//lint:exactfloat zero-value means "unset" on a user-assigned config field; it is never computed
 	if c.DropFraction == 0 {
 		c.DropFraction = 0.4
 	}

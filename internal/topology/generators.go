@@ -204,7 +204,7 @@ func RandomConnected(nSwitches, deg, capacity int, seed int64) (*Network, error)
 		if a == b {
 			continue
 		}
-		// Ignore duplicate-link errors; density is approximate.
+		//lint:errcheck duplicate-link errors are expected; density is approximate
 		_ = n.AddLink(a, b)
 	}
 	return n, nil

@@ -1,0 +1,141 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rulefit/internal/core"
+	"rulefit/internal/dataplane"
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+	"rulefit/internal/verify"
+)
+
+// deploy solves the paper's Fig. 3 instance and compiles the placement
+// into data-plane tables, returning everything a verifier needs.
+func deploy(t *testing.T, capacity int) (*core.Problem, *dataplane.Network) {
+	t.Helper()
+	topo := topology.Fig3(capacity)
+	rt, err := routing.BuildRouting(topo, []routing.PortPair{{In: 1, Out: 2}, {In: 1, Out: 3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := policy.MustNew(1, []policy.Rule{
+		{Match: match.MustParseTernary("1100****"), Action: policy.Permit, Priority: 3},
+		{Match: match.MustParseTernary("11******"), Action: policy.Drop, Priority: 2},
+		{Match: match.MustParseTernary("00******"), Action: policy.Drop, Priority: 1},
+	})
+	prob := &core.Problem{Network: topo, Routing: rt, Policies: []*policy.Policy{pol}}
+	pl, err := core.Place(prob, core.Options{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Status != core.StatusOptimal {
+		t.Fatalf("status = %v", pl.Status)
+	}
+	net, err := pl.BuildTables(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, net
+}
+
+// TestSemanticsCatchesTamperedPlacement deploys a correct placement,
+// then deletes one drop entry from the data plane and requires the
+// sampling verifier to notice — with a fully populated Violation.
+func TestSemanticsCatchesTamperedPlacement(t *testing.T) {
+	prob, net := deploy(t, 10)
+	cfg := verify.Config{Seed: 3}
+	if v := verify.Semantics(net, prob.Routing, prob.Policies, cfg); len(v) != 0 {
+		t.Fatalf("clean deployment flagged: %v", v)
+	}
+
+	// Remove the first installed drop entry, wherever it was placed.
+	tampered := false
+	for _, sw := range prob.Network.Switches() {
+		tbl, ok := net.Tables[sw.ID]
+		if !ok || tampered {
+			continue
+		}
+		for i, e := range tbl.Entries {
+			if e.Action == policy.Drop {
+				tbl.Entries = append(tbl.Entries[:i], tbl.Entries[i+1:]...)
+				tampered = true
+				break
+			}
+		}
+	}
+	if !tampered {
+		t.Fatal("no drop entry found to remove")
+	}
+
+	v := verify.Semantics(net, prob.Routing, prob.Policies, cfg)
+	if len(v) == 0 {
+		t.Fatal("verifier missed the removed drop")
+	}
+	for _, viol := range v {
+		if viol.Want != policy.Drop || viol.Got != policy.Permit {
+			t.Errorf("violation should be a missed drop, got %+v", viol)
+		}
+		if viol.Ingress != 1 {
+			t.Errorf("ingress = %d, want 1", viol.Ingress)
+		}
+		if len(viol.Header) == 0 {
+			t.Error("violation lost its witness header")
+		}
+		if len(viol.Path.Switches) == 0 {
+			t.Error("violation lost its path")
+		}
+		s := viol.String()
+		if !strings.Contains(s, "policy says DROP") || !strings.Contains(s, "network says PERMIT") {
+			t.Errorf("violation string %q missing decision summary", s)
+		}
+	}
+}
+
+// TestCapacitiesCatchOverfilledDeployment compiles a real placement,
+// then lowers switch capacities below what was installed and checks the
+// audit reports every overfull switch with exact counts.
+func TestCapacitiesCatchOverfilledDeployment(t *testing.T) {
+	prob, net := deploy(t, 10)
+	if v := verify.Capacities(net, prob.Network); len(v) != 0 {
+		t.Fatalf("clean deployment flagged: %v", v)
+	}
+
+	// Shrink every occupied switch to one slot under its usage.
+	overfull := make(map[topology.SwitchID]int)
+	for _, sw := range prob.Network.Switches() {
+		tbl, ok := net.Tables[sw.ID]
+		if !ok || tbl.Size() == 0 {
+			continue
+		}
+		if err := prob.Network.SetSwitchCapacity(sw.ID, tbl.Size()-1); err != nil {
+			t.Fatal(err)
+		}
+		overfull[sw.ID] = tbl.Size()
+	}
+	if len(overfull) == 0 {
+		t.Fatal("placement installed no entries")
+	}
+
+	v := verify.Capacities(net, prob.Network)
+	if len(v) != len(overfull) {
+		t.Fatalf("audit found %d violations, want %d: %v", len(v), len(overfull), v)
+	}
+	for _, cv := range v {
+		used, ok := overfull[cv.Switch]
+		if !ok {
+			t.Errorf("unexpected switch %d in audit", cv.Switch)
+			continue
+		}
+		if cv.Used != used || cv.Cap != used-1 {
+			t.Errorf("switch %d: audit says %d > %d, want %d > %d", cv.Switch, cv.Used, cv.Cap, used, used-1)
+		}
+		if !strings.Contains(cv.String(), "rules > capacity") {
+			t.Errorf("capacity violation string %q", cv.String())
+		}
+	}
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# check.sh — the full local quality gate, mirroring CI.
+#
+#   ./scripts/check.sh          # everything
+#   ./scripts/check.sh quick    # skip the race detector pass
+#
+# Steps: gofmt, go vet, the repo's own static-analysis suite
+# (rulefitlint, both standalone and as a vettool), build, tests, the
+# race detector, and the rulefitdebug invariant-checked test pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+fail=0
+
+step() { printf '\n== %s\n' "$1"; }
+
+step "gofmt"
+unformatted=$(gofmt -l . 2>/dev/null | grep -v '^\.git/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    fail=1
+fi
+
+step "go vet"
+go vet ./... || fail=1
+
+step "rulefitlint (standalone)"
+go build -o /tmp/rulefitlint ./cmd/rulefitlint
+/tmp/rulefitlint ./... || fail=1
+
+step "rulefitlint (as go vet tool)"
+go vet -vettool=/tmp/rulefitlint ./... || fail=1
+
+step "go build"
+go build ./... || fail=1
+
+step "go test"
+go test ./... || fail=1
+
+step "go test -tags rulefitdebug (runtime invariants)"
+go test -tags rulefitdebug ./internal/ilp/ ./internal/core/ ./internal/invariant/ || fail=1
+
+if [ "$mode" != "quick" ]; then
+    step "go test -race"
+    go test -race ./... || fail=1
+fi
+
+echo
+if [ "$fail" -ne 0 ]; then
+    echo "CHECK FAILED"
+    exit 1
+fi
+echo "all checks passed"
