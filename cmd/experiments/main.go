@@ -15,6 +15,15 @@
 //
 //	experiments [-exp all|1|2|3|4|5|6] [-scale small|medium|paper]
 //	            [-k 4] [-seeds 3] [-backend ilp|sat] [-timeout 60s]
+//	            [-workers 0] [-parallel 1] [-json out.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -workers sets the ILP branch & bound parallelism per solve (0 =
+// GOMAXPROCS; the placement is identical for any value). -parallel
+// bounds how many workload instances a sweep solves concurrently.
+// -json runs the Experiment 1 sweep once per comma-separated worker
+// count (e.g. -json BENCH.json -workers 1,4) and writes the
+// machine-readable report scripts/bench.sh commits as BENCH_<stamp>.json.
 package main
 
 import (
@@ -22,6 +31,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"rulefit/internal/bench"
@@ -115,15 +128,50 @@ func presets(scale string, k int, timeout time.Duration, backend core.Backend) (
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, 6")
-		scale   = flag.String("scale", "small", "parameter scale: small, medium, paper")
-		k       = flag.Int("k", 0, "override fat-tree arity for -scale paper")
-		seeds   = flag.Int("seeds", 3, "instances per point (the paper uses 5)")
-		backend = flag.String("backend", "ilp", "solver backend: ilp or sat")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-solve time limit")
-		csvDir  = flag.String("csv", "", "also write CSV series into this directory")
+		exp        = flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, 6")
+		scale      = flag.String("scale", "small", "parameter scale: small, medium, paper")
+		k          = flag.Int("k", 0, "override fat-tree arity for -scale paper")
+		seeds      = flag.Int("seeds", 3, "instances per point (the paper uses 5)")
+		backend    = flag.String("backend", "ilp", "solver backend: ilp or sat")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-solve time limit")
+		csvDir     = flag.String("csv", "", "also write CSV series into this directory")
+		workers    = flag.String("workers", "0", "ILP solver workers per solve; comma-separated list with -json (0 = GOMAXPROCS)")
+		parallel   = flag.Int("parallel", 1, "workload instances solved concurrently per sweep")
+		jsonOut    = flag.String("json", "", "write a machine-readable Experiment 1 report to this file and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	workerCounts, err := parseWorkers(*workers)
+	if err != nil {
+		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	be := core.BackendILP
 	if *backend == "sat" {
@@ -132,6 +180,24 @@ func run() error {
 	p, err := presets(*scale, *k, *timeout, be)
 	if err != nil {
 		return err
+	}
+	p.base.Parallel = *parallel
+	p.base.Opts.Workers = workerCounts[0]
+
+	if *jsonOut != "" {
+		rep, err := bench.BuildReport(p.base, p.ruleCounts, p.exp1Caps, *seeds, workerCounts)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	want := func(e string) bool { return *exp == "all" || *exp == e }
 
@@ -211,6 +277,28 @@ func run() error {
 		fmt.Println(bench.RenderBaselines(res))
 	}
 	return nil
+}
+
+// parseWorkers parses the -workers flag: a comma-separated list of
+// solver worker counts, e.g. "1,4". Only -json uses entries beyond the
+// first.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -workers entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return out, nil
 }
 
 // writeCSV emits a series into dir/name when -csv is set.

@@ -11,6 +11,7 @@ import (
 func positives() {
 	_ = ilp.Options{}                      // want "ilp.Options without TimeLimit or NodeLimit"
 	_ = ilp.Options{DisablePresolve: true} // want "ilp.Options without TimeLimit or NodeLimit"
+	_ = ilp.Options{Workers: 8}            // want "ilp.Options without TimeLimit or NodeLimit"
 	_ = verify.Config{}                    // want "zero-value verify.Config"
 }
 

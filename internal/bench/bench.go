@@ -42,6 +42,10 @@ type Config struct {
 	Mergeable int
 	// Seed drives policy generation and routing tie-breaks.
 	Seed int64
+	// Parallel bounds how many workload instances a sweep solves
+	// concurrently (<= 1 = sequential). Results are aggregated in input
+	// order regardless, so Parallel changes only wall-clock time.
+	Parallel int
 	// Opts passes through solver options.
 	Opts core.Options
 }
@@ -119,6 +123,11 @@ type Result struct {
 	Time        time.Duration
 	Variables   int
 	Constraints int
+	// Nodes and SimplexIters report ILP solver effort; Workers is the
+	// branch & bound parallelism the solve used.
+	Nodes        int
+	SimplexIters int
+	Workers      int
 }
 
 // Run builds and solves one instance, measuring wall-clock solve time.
@@ -133,11 +142,14 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Status:      pl.Status,
-		TotalRules:  pl.TotalRules,
-		Time:        time.Since(start),
-		Variables:   pl.Stats.Variables,
-		Constraints: pl.Stats.Constraints,
+		Status:       pl.Status,
+		TotalRules:   pl.TotalRules,
+		Time:         time.Since(start),
+		Variables:    pl.Stats.Variables,
+		Constraints:  pl.Stats.Constraints,
+		Nodes:        pl.Stats.BnBNodes,
+		SimplexIters: pl.Stats.SimplexIters,
+		Workers:      pl.Stats.Workers,
 	}, nil
 }
 
@@ -150,6 +162,9 @@ type Point struct {
 	Min, Max time.Duration
 	// Statuses of the individual seed runs (feasibility can vary).
 	Statuses []core.Status
+	// Runs preserves the individual seed measurements, in seed order,
+	// for machine-readable reports.
+	Runs []Result
 }
 
 // Feasible reports whether all seed runs found a placement.
@@ -163,44 +178,59 @@ func (p Point) Feasible() bool {
 }
 
 // sweepRules measures runtime across rule counts for fixed capacity.
+// The (ruleCount, seed) grid fans out across base.Parallel goroutines;
+// aggregation is by grid index, so the output is order-independent.
 func sweepRules(base Config, ruleCounts []int, capacity, seeds int) ([]Point, error) {
-	var out []Point
+	var cfgs []Config
 	for _, r := range ruleCounts {
-		p := Point{X: r, Capacity: capacity}
-		var total time.Duration
 		for s := 0; s < seeds; s++ {
 			cfg := base
 			cfg.Rules = r
 			cfg.Capacity = capacity
 			cfg.Seed = base.Seed + int64(s)*101
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			total += res.Time
-			p.Statuses = append(p.Statuses, res.Status)
-			if p.Min == 0 || res.Time < p.Min {
-				p.Min = res.Time
-			}
-			if res.Time > p.Max {
-				p.Max = res.Time
-			}
+			cfgs = append(cfgs, cfg)
 		}
-		p.Mean = total / time.Duration(seeds)
-		out = append(out, p)
+	}
+	results, err := runJobs(cfgs, base.Parallel, Run)
+	if err != nil {
+		return nil, err
+	}
+	var out []Point
+	for i, r := range ruleCounts {
+		out = append(out, aggregate(r, capacity, results[i*seeds:(i+1)*seeds]))
 	}
 	return out, nil
 }
 
 // Experiment1 reproduces Figures 7–9: runtime vs rule count for two
-// capacities at a fixed topology and path count.
+// capacities at a fixed topology and path count. The full (capacity,
+// ruleCount, seed) grid is solved with at most base.Parallel instances
+// in flight.
 func Experiment1(base Config, ruleCounts []int, capacities []int, seeds int) (map[int][]Point, error) {
 	base = base.withDefaults()
-	out := make(map[int][]Point, len(capacities))
+	var cfgs []Config
 	for _, c := range capacities {
-		pts, err := sweepRules(base, ruleCounts, c, seeds)
-		if err != nil {
-			return nil, err
+		for _, r := range ruleCounts {
+			for s := 0; s < seeds; s++ {
+				cfg := base
+				cfg.Rules = r
+				cfg.Capacity = c
+				cfg.Seed = base.Seed + int64(s)*101
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	results, err := runJobs(cfgs, base.Parallel, Run)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]Point, len(capacities))
+	i := 0
+	for _, c := range capacities {
+		var pts []Point
+		for _, r := range ruleCounts {
+			pts = append(pts, aggregate(r, c, results[i:i+seeds]))
+			i += seeds
 		}
 		out[c] = pts
 	}
@@ -208,12 +238,12 @@ func Experiment1(base Config, ruleCounts []int, capacities []int, seeds int) (ma
 }
 
 // Experiment2 reproduces Figure 10: runtime vs path count for two
-// capacities at fixed rules.
+// capacities at fixed rules, fanning the (capacity, paths) grid out
+// across base.Parallel goroutines.
 func Experiment2(base Config, pathCounts []int, capacities []int) (map[int][]Point, error) {
 	base = base.withDefaults()
-	out := make(map[int][]Point, len(capacities))
+	var cfgs []Config
 	for _, c := range capacities {
-		var pts []Point
 		for _, p := range pathCounts {
 			cfg := base
 			cfg.Capacity = c
@@ -222,15 +252,20 @@ func Experiment2(base Config, pathCounts []int, capacities []int) (map[int][]Poi
 			if cfg.PathsPerIngress < 1 {
 				cfg.PathsPerIngress = 1
 			}
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, Point{
-				X: p, Capacity: c,
-				Mean: res.Time, Min: res.Time, Max: res.Time,
-				Statuses: []core.Status{res.Status},
-			})
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := runJobs(cfgs, base.Parallel, Run)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]Point, len(capacities))
+	i := 0
+	for _, c := range capacities {
+		var pts []Point
+		for _, p := range pathCounts {
+			pts = append(pts, aggregate(p, c, results[i:i+1]))
+			i++
 		}
 		out[c] = pts
 	}
@@ -255,10 +290,11 @@ type Table2Cell struct {
 
 // Experiment3 reproduces Table II: capacity vs duplication overhead with
 // and without rule merging, sweeping the number of shared blacklist
-// rules.
+// rules. The (mergeable, capacity, merging) grid fans out across
+// base.Parallel goroutines.
 func Experiment3(base Config, mergeCounts []int, capacities []int) ([]Table2Cell, error) {
 	base = base.withDefaults()
-	var out []Table2Cell
+	var cfgs []Config
 	for _, mr := range mergeCounts {
 		for _, c := range capacities {
 			for _, merging := range []bool{false, true} {
@@ -266,30 +302,35 @@ func Experiment3(base Config, mergeCounts []int, capacities []int) ([]Table2Cell
 				cfg.Mergeable = mr
 				cfg.Capacity = c
 				cfg.Opts.Merging = merging
-				prob, err := Build(cfg)
-				if err != nil {
-					return nil, err
-				}
-				pl, err := core.Place(prob, cfg.Opts)
-				if err != nil {
-					return nil, err
-				}
-				cell := Table2Cell{MergeableRules: mr, Capacity: c, Merging: merging}
-				if pl.Status != core.StatusOptimal && pl.Status != core.StatusFeasible {
-					cell.Infeasible = true
-				} else {
-					cell.Proven = pl.Status == core.StatusOptimal
-					cell.TotalRules = pl.TotalRules
-					a := noDuplicationCount(pl)
-					if a > 0 {
-						cell.OverheadPct = 100 * float64(pl.TotalRules-a) / float64(a)
-					}
-				}
-				out = append(out, cell)
+				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
-	return out, nil
+	return runJobs(cfgs, base.Parallel, runCell)
+}
+
+// runCell solves one Table II cell.
+func runCell(cfg Config) (Table2Cell, error) {
+	prob, err := Build(cfg)
+	if err != nil {
+		return Table2Cell{}, err
+	}
+	pl, err := core.Place(prob, cfg.Opts)
+	if err != nil {
+		return Table2Cell{}, err
+	}
+	cell := Table2Cell{MergeableRules: cfg.Mergeable, Capacity: cfg.Capacity, Merging: cfg.Opts.Merging}
+	if pl.Status != core.StatusOptimal && pl.Status != core.StatusFeasible {
+		cell.Infeasible = true
+	} else {
+		cell.Proven = pl.Status == core.StatusOptimal
+		cell.TotalRules = pl.TotalRules
+		a := noDuplicationCount(pl)
+		if a > 0 {
+			cell.OverheadPct = 100 * float64(pl.TotalRules-a) / float64(a)
+		}
+	}
+	return cell, nil
 }
 
 // noDuplicationCount is A in the paper's Table II: the number of rules
@@ -307,32 +348,26 @@ func noDuplicationCount(pl *core.Placement) int {
 }
 
 // Experiment4 reproduces Figure 11: runtime vs switch capacity at fixed
-// topology, rules, and paths.
+// topology, rules, and paths. The (capacity, seed) grid fans out across
+// base.Parallel goroutines.
 func Experiment4(base Config, capacities []int, seeds int) ([]Point, error) {
 	base = base.withDefaults()
-	var out []Point
+	var cfgs []Config
 	for _, c := range capacities {
-		p := Point{X: c, Capacity: c}
-		var total time.Duration
 		for s := 0; s < seeds; s++ {
 			cfg := base
 			cfg.Capacity = c
 			cfg.Seed = base.Seed + int64(s)*101
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			total += res.Time
-			p.Statuses = append(p.Statuses, res.Status)
-			if p.Min == 0 || res.Time < p.Min {
-				p.Min = res.Time
-			}
-			if res.Time > p.Max {
-				p.Max = res.Time
-			}
+			cfgs = append(cfgs, cfg)
 		}
-		p.Mean = total / time.Duration(seeds)
-		out = append(out, p)
+	}
+	results, err := runJobs(cfgs, base.Parallel, Run)
+	if err != nil {
+		return nil, err
+	}
+	var out []Point
+	for i, c := range capacities {
+		out = append(out, aggregate(c, c, results[i*seeds:(i+1)*seeds]))
 	}
 	return out, nil
 }

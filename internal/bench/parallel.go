@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"sync"
+	"time"
+)
+
+// runJobs maps f over cfgs with at most par invocations in flight
+// (par <= 1 runs sequentially). Results land at the index of their
+// config and errors are reported first-by-index, so the output — and
+// any aggregation done over it — is identical to a sequential run; the
+// fan-out changes only wall-clock time.
+func runJobs[T any](cfgs []Config, par int, f func(Config) (T, error)) ([]T, error) {
+	out := make([]T, len(cfgs))
+	if par <= 1 {
+		for i, cfg := range cfgs {
+			r, err := f(cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = f(cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// aggregate folds the seed runs of one swept parameter value into a
+// Point, preserving the individual runs for machine-readable reports.
+func aggregate(x, capacity int, runs []Result) Point {
+	p := Point{X: x, Capacity: capacity, Runs: append([]Result(nil), runs...)}
+	var total time.Duration
+	for _, res := range runs {
+		total += res.Time
+		p.Statuses = append(p.Statuses, res.Status)
+		if p.Min == 0 || res.Time < p.Min {
+			p.Min = res.Time
+		}
+		if res.Time > p.Max {
+			p.Max = res.Time
+		}
+	}
+	p.Mean = total / time.Duration(len(runs))
+	return p
+}

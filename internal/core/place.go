@@ -58,13 +58,18 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 // solveILP encodes to the MILP solver (Eqs. 1–5) and extracts the result.
 func solveILP(enc *encoding, opts Options) (*Placement, error) {
 	m, ids, zVar := buildILPModel(enc, opts)
-	sol, err := ilp.Solve(m, ilp.Options{TimeLimit: opts.TimeLimit, DisablePresolve: opts.DisablePresolve})
+	sol, err := ilp.Solve(m, ilp.Options{
+		TimeLimit:       opts.TimeLimit,
+		DisablePresolve: opts.DisablePresolve,
+		Workers:         opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
 	pl := &Placement{Policies: enc.policies, Groups: enc.groups}
 	pl.Stats.SimplexIters = sol.Stats.SimplexIters
 	pl.Stats.BnBNodes = sol.Stats.Nodes
+	pl.Stats.Workers = sol.Stats.Workers
 	switch sol.Status {
 	case ilp.Optimal:
 		pl.Status = StatusOptimal

@@ -114,6 +114,9 @@ type Options struct {
 	TimeLimit time.Duration
 	// DisablePresolve turns off ILP presolve (ablation).
 	DisablePresolve bool
+	// Workers sets the ILP branch & bound parallelism (0 = GOMAXPROCS).
+	// The placement returned is independent of the worker count.
+	Workers int
 }
 
 // withDefaults fills in unset options.
@@ -222,6 +225,8 @@ type Stats struct {
 	SolveTime    time.Duration
 	SimplexIters int
 	BnBNodes     int
+	// Workers is the branch & bound parallelism the ILP solve used.
+	Workers      int
 	SATConflicts int64
 	SATDecisions int64
 }

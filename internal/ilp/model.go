@@ -204,9 +204,12 @@ type Solution struct {
 	Stats  Stats
 }
 
-// Stats collects solver effort counters.
+// Stats collects solver effort counters. SimplexIters and Nodes are
+// summed across branch & bound workers; Workers records the parallelism
+// the solve actually used.
 type Stats struct {
 	SimplexIters int
 	Nodes        int
 	PresolveFix  int
+	Workers      int
 }

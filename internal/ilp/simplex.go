@@ -127,6 +127,43 @@ func newLPSolver(m *Model, lo, hi []float64) *lpSolver {
 	return s
 }
 
+// clone returns an independent solver over the same LP for a branch &
+// bound worker. The immutable problem data (rhs and the structural/slack
+// column entry slices) is shared; everything a node solve mutates —
+// bound arrays, states, basis, scratch — gets fresh backing arrays
+// truncated to the artificial-free base, so concurrent clones never
+// touch common memory. A clone's basis list may reference dropped
+// artificial columns, so it must be driven through
+// resolveAfterBoundChange (which rebuilds the basis) before any other
+// use.
+func (s *lpSolver) clone() *lpSolver {
+	base := s.nOrig + s.m
+	c := &lpSolver{
+		m:           s.m,
+		n:           base,
+		nOrig:       s.nOrig,
+		rhs:         s.rhs,
+		deadline:    s.deadline,
+		fullPricing: s.fullPricing,
+	}
+	c.cols = make([][]entry, base, base+s.m)
+	copy(c.cols, s.cols[:base])
+	c.lo = make([]float64, base, base+s.m)
+	copy(c.lo, s.lo[:base])
+	c.hi = make([]float64, base, base+s.m)
+	copy(c.hi, s.hi[:base])
+	c.obj = make([]float64, base, base+s.m)
+	copy(c.obj, s.obj[:base])
+	c.state = make([]int8, base, base+s.m)
+	copy(c.state, s.state[:base])
+	c.basic = make([]int, s.m)
+	copy(c.basic, s.basic)
+	c.xB = make([]float64, s.m)
+	copy(c.xB, s.xB)
+	c.bufA = make([]float64, s.m)
+	return c
+}
+
 // initBasis sets every structural variable nonbasic at its nearest finite
 // bound, installs slacks as the basis where feasible, and adds artificial
 // variables for rows whose slack cannot absorb the residual.

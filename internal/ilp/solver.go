@@ -3,7 +3,10 @@ package ilp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rulefit/internal/invariant"
@@ -21,6 +24,13 @@ type Options struct {
 	// FullPricing forces full Dantzig pricing on every simplex
 	// iteration instead of partial pricing (debug/ablation).
 	FullPricing bool
+	// Workers is the number of branch & bound worker goroutines
+	// (0 = GOMAXPROCS). The solve status, objective, and solution are
+	// independent of the worker count: nodes are expanded in fixed-size
+	// synchronous rounds, each node LP is a pure function of its work
+	// item, and round results are merged in a deterministic order — so
+	// Workers=1 and Workers=8 return byte-identical results.
+	Workers int
 }
 
 // Solve minimizes the model. The returned solution's Values are rounded
@@ -40,7 +50,11 @@ func Solve(m *Model, opts Options) (Solution, error) {
 		lo[j], hi[j] = v.lo, v.hi
 	}
 
-	stats := Stats{}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stats := Stats{Workers: workers}
 	work := m
 	if !opts.DisablePresolve {
 		switch presolve(m, lo, hi, &stats) {
@@ -66,6 +80,7 @@ func Solve(m *Model, opts Options) (Solution, error) {
 		nodeCap:     opts.NodeLimit,
 		stats:       stats,
 		fullPricing: opts.FullPricing,
+		workers:     workers,
 	}
 	sol, err := bb.run(lo, hi)
 	if err != nil {
@@ -172,35 +187,85 @@ func propagateLE(m *Model, terms []Term, b float64, lo, hi []float64, stats *Sta
 	return res
 }
 
-// bnb is the branch & bound driver.
+// Branch & bound constants.
+const (
+	// batchNodes is the number of deque items expanded per synchronous
+	// round once an incumbent exists. It is a constant — NOT derived
+	// from the worker count — because the node expansion schedule must
+	// be a pure function of the instance for Workers=1/2/8 to return
+	// identical results. Workers beyond batchNodes cannot be kept busy.
+	batchNodes = 16
+	// deadlineEveryNodes is roughly how many nodes pass between
+	// wall-clock deadline polls, keeping time.Now off the per-node hot
+	// path during single-node dive rounds (the deadline is also polled
+	// after every round that improves the incumbent).
+	deadlineEveryNodes = 64
+	// lexTol is the per-component tolerance of the lexicographic
+	// incumbent comparison; integer components are rounded before the
+	// comparison, so distinct placements differ by at least 1.
+	lexTol = 1e-9
+	// incTol is the objective margin for bound-domination pruning: a
+	// subtree whose LP bound is within incTol of the incumbent cannot
+	// contain a strictly better solution and is cut.
+	incTol = 1e-9
+	// tieTol is the objective tolerance under which two incumbents are
+	// considered tied and compared lexicographically instead.
+	tieTol = 1e-6
+)
+
+// bnb is the branch & bound driver. Parallelism is deterministic by
+// construction: the frontier is a LIFO deque of self-contained work
+// items; each round pops a fixed-size batch in deque order, a worker
+// pool solves the batch's node LPs concurrently (each LP result is a
+// pure function of its item), and the results are merged sequentially
+// in batch order — pruning, incumbent updates, and child pushes all
+// happen in the merge. Thread scheduling and worker count therefore
+// influence only wall-clock time, never the search tree or the answer.
 type bnb struct {
 	model    *Model
 	deadline time.Time
 	nodeCap  int
 	stats    Stats
+	workers  int
+
+	objIntegral bool
+	fullPricing bool
+
+	deque []*workItem // LIFO: dive-first children are pushed last
 
 	incumbent    []float64
 	incumbentObj float64
 	haveInc      bool
 
-	objIntegral bool
-	fullPricing bool
+	hitDeadline  bool
+	hitNodeLimit bool
 	// lostSubtree records that some node was pruned for a reason other
 	// than proven infeasibility or bound domination (time limit,
-	// numerics); a clean "Infeasible" conclusion is then impossible.
+	// numerics); a clean "Infeasible" or "Optimal" conclusion is then
+	// impossible.
 	lostSubtree bool
 }
 
-// nodeFrame is one DFS frame: a branching variable, its two children's
-// bound intervals, and the parent's nonbasic state vector used to warm
-// start each child's LP.
-type nodeFrame struct {
-	variable     int
-	oldLo, oldHi float64
-	children     [2][2]float64 // {lo, hi} per child, dive-first order
-	next         int           // next child index to try (0, 1, or 2=done)
-	state        []int8        // parent states for structurals+slacks
-	parentBound  float64       // parent's LP objective, for monotonicity checks
+// workItem is one branch & bound subtree: the structural variable bounds
+// of the node and the parent's nonbasic state vector used to warm start
+// the node's LP. Each item is self-contained, so the node's LP result is
+// a pure function of the item no matter which worker solves it or when.
+type workItem struct {
+	lo, hi []float64 // structural bounds (len nOrig)
+	state  []int8    // parent states for structurals+slacks (shared, read-only)
+	bound  float64   // parent's pruning bound (ceiled when the objective is integral)
+	raw    float64   // parent's raw LP objective, for monotonicity checks
+}
+
+// nodeResult is the outcome of one node LP solve, captured by a worker
+// for the deterministic merge.
+type nodeResult struct {
+	st    lpStatus
+	err   error
+	raw   float64   // LP objective at the node
+	x     []float64 // structural primal values
+	state []int8    // post-solve nonbasic states (structurals+slacks)
+	iters int       // simplex iterations spent on this node
 }
 
 func (b *bnb) run(lo, hi []float64) (Solution, error) {
@@ -232,80 +297,29 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 	}
 
 	b.incumbentObj = math.Inf(1)
-	var stack []*nodeFrame
-	b.stats.Nodes = 1
+	b.stats.Nodes = 1 // root
 
-	// Process the root, then iterate the DFS.
-	frac := b.checkIntegral(s)
-	if frac < 0 {
-		return b.finish(s.primalValues(), s.structuralObjective(), true)
-	}
-	stack = b.push(stack, s, frac)
-
-	for len(stack) > 0 {
-		if b.expired() {
-			break
+	rootX := s.primalValues()
+	if frac := b.fracVar(rootX); frac >= 0 {
+		root := &workItem{
+			lo: append([]float64(nil), s.lo[:s.nOrig]...),
+			hi: append([]float64(nil), s.hi[:s.nOrig]...),
 		}
-		if b.nodeCap > 0 && b.stats.Nodes >= b.nodeCap {
-			break
+		rootRes := nodeResult{
+			raw:   s.structuralObjective(),
+			x:     rootX,
+			state: append([]int8(nil), s.state[:s.nOrig+s.m]...),
 		}
-		top := stack[len(stack)-1]
-		if top.next >= 2 {
-			// Both children explored: restore bounds and pop.
-			s.setBound(top.variable, top.oldLo, top.oldHi)
-			stack = stack[:len(stack)-1]
-			continue
-		}
-
-		// Apply the next child: parent's nonbasic states + child bounds.
-		child := top.children[top.next]
-		top.next++
-		copy(s.state[:len(top.state)], top.state)
-		s.setBound(top.variable, child[0], child[1])
-		b.stats.Nodes++
-		st, err := s.resolveAfterBoundChange()
-		if err != nil {
+		b.deque = b.makeChildren(root, &rootRes, frac)
+		if err := b.search(s); err != nil {
 			return Solution{}, err
 		}
-		b.stats.SimplexIters = s.iters
-
-		switch st {
-		case lpOptimal:
-			bound := s.structuralObjective()
-			// A child LP is the parent LP plus one tightened bound, so
-			// (minimizing) its objective can only rise. A drop means the
-			// warm start resumed from a corrupted basis.
-			invariant.Assert(bound >= top.parentBound-1e-6,
-				"branch&bound: child LP bound %g below parent bound %g on variable %d",
-				bound, top.parentBound, top.variable)
-			if b.objIntegral {
-				bound = math.Ceil(bound - 1e-6)
-			}
-			if b.haveInc && bound >= b.incumbentObj-1e-9 {
-				continue // prune by bound
-			}
-			if f := b.checkIntegral(s); f < 0 {
-				obj := s.structuralObjective()
-				if !b.haveInc || obj < b.incumbentObj-1e-9 {
-					b.haveInc = true
-					b.incumbentObj = obj
-					b.incumbent = s.primalValues()
-				}
-				continue
-			} else {
-				stack = b.push(stack, s, f)
-			}
-		case lpInfeasible:
-			continue // proven empty: sound prune
-		default:
-			// Time limit or numeric trouble: the subtree is lost, so an
-			// Infeasible conclusion is no longer provable.
-			b.lostSubtree = true
-			continue
-		}
+	} else {
+		x, obj := b.canonical(rootX)
+		return b.finish(x, obj, true)
 	}
 
-	if b.expired() || (b.nodeCap > 0 && b.stats.Nodes >= b.nodeCap) {
+	if b.hitDeadline || b.hitNodeLimit {
 		if b.haveInc {
 			return b.finish(b.incumbent, b.incumbentObj, false)
 		}
@@ -320,15 +334,252 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 	return Solution{Status: Infeasible, Stats: b.stats}, nil
 }
 
-// expired reports whether the deadline passed.
-func (b *bnb) expired() bool {
+// search runs the synchronous-rounds tree search. Per round: pop live
+// items off the LIFO deque in deterministic order, solve their node LPs
+// concurrently on the worker pool, and merge the results sequentially
+// in batch order. Because node selection, LP results, and the merge are
+// all independent of thread timing, the entire search — and therefore
+// the answer — is a pure function of the instance; workers change only
+// wall-clock time.
+//
+// The round width itself is part of that pure function: while no
+// incumbent exists the batch is a single node, which makes the search a
+// plain depth-first dive (identical node order to a sequential solver —
+// a wider beam before the first incumbent only burns nodes, since
+// nothing can be pruned yet). Once an incumbent lands, rounds widen to
+// batchNodes so workers have parallel work, and bound pruning keeps the
+// slightly stale frontier cheap.
+func (b *bnb) search(s *lpSolver) error {
+	// Worker 0 reuses the root solver; the rest get clones, taken
+	// before any node mutates s. More workers than batchNodes can never
+	// be kept busy within a round.
+	nw := b.workers
+	if nw > batchNodes {
+		nw = batchNodes
+	}
+	solvers := make([]*lpSolver, nw)
+	solvers[0] = s
+	for i := 1; i < nw; i++ {
+		solvers[i] = s.clone()
+	}
+
+	batch := make([]*workItem, 0, batchNodes)
+	results := make([]nodeResult, batchNodes)
+	sinceDeadline := 0
+	for len(b.deque) > 0 {
+		width := 1
+		if b.haveInc {
+			width = batchNodes
+		}
+		batch = batch[:0]
+		for len(batch) < width && len(b.deque) > 0 {
+			n := len(b.deque)
+			it := b.deque[n-1]
+			b.deque[n-1] = nil
+			b.deque = b.deque[:n-1]
+			if b.haveInc && it.bound >= b.incumbentObj-incTol {
+				continue // subtree dominated since it was pushed
+			}
+			if b.nodeCap > 0 && b.stats.Nodes >= b.nodeCap {
+				b.hitNodeLimit = true
+				return nil
+			}
+			b.stats.Nodes++
+			batch = append(batch, it)
+		}
+		res := results[:len(batch)]
+		b.solveBatch(solvers, batch, res)
+		hadInc, prevObj := b.haveInc, b.incumbentObj
+		for i, it := range batch {
+			if err := b.mergeNode(it, &res[i]); err != nil {
+				return err
+			}
+		}
+		// Poll the wall clock every ~deadlineEveryNodes nodes and after
+		// rounds that improved the incumbent, not per node.
+		sinceDeadline += len(batch)
+		improved := b.haveInc && (!hadInc || b.incumbentObj < prevObj)
+		if sinceDeadline >= deadlineEveryNodes || improved {
+			sinceDeadline = 0
+			if b.deadlineExpired() {
+				b.hitDeadline = true
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// solveBatch fills res[i] with the LP outcome of batch[i]. Workers pull
+// batch indices from an atomic counter; since each solve is a pure
+// function of its item, which worker lands on which index is irrelevant
+// to the results.
+func (b *bnb) solveBatch(solvers []*lpSolver, batch []*workItem, res []nodeResult) {
+	if len(batch) == 1 || len(solvers) == 1 {
+		for i, it := range batch {
+			res[i] = solveNode(solvers[0], it)
+		}
+		return
+	}
+	nw := len(solvers)
+	if nw > len(batch) {
+		nw = len(batch)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(s *lpSolver) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) {
+					return
+				}
+				res[i] = solveNode(s, batch[i])
+			}
+		}(solvers[w])
+	}
+	wg.Wait()
+}
+
+// solveNode installs a work item into a solver and re-solves the node
+// LP. Bounds, warm-start states, and the pricing cursors are all reset
+// from the item first, so the result is a pure function of the item —
+// bit-identical no matter which worker solves it or what it solved
+// before.
+func solveNode(s *lpSolver, it *workItem) nodeResult {
+	copy(s.lo[:s.nOrig], it.lo)
+	copy(s.hi[:s.nOrig], it.hi)
+	copy(s.state[:s.nOrig+s.m], it.state)
+	s.priceCursor, s.priceWindow = 0, 0
+	startIters := s.iters
+	st, err := s.resolveAfterBoundChange()
+	r := nodeResult{st: st, err: err, iters: s.iters - startIters}
+	if err != nil || st != lpOptimal {
+		return r
+	}
+	r.raw = s.structuralObjective()
+	r.x = s.primalValues()
+	r.state = append([]int8(nil), s.state[:s.nOrig+s.m]...)
+	return r
+}
+
+// mergeNode folds one solved node into the search state: prune it,
+// record an incumbent, or push its children. Called sequentially in
+// batch order, so every decision here is deterministic.
+func (b *bnb) mergeNode(it *workItem, r *nodeResult) error {
+	b.stats.SimplexIters += r.iters
+	if r.err != nil {
+		return r.err
+	}
+	switch r.st {
+	case lpOptimal:
+	case lpInfeasible:
+		return nil // proven empty: sound prune
+	default:
+		// Time limit or numeric trouble: the subtree is lost, so an
+		// Infeasible or proven-Optimal conclusion is no longer possible.
+		b.lostSubtree = true
+		return nil
+	}
+	// A child LP is the parent LP plus one tightened bound, so
+	// (minimizing) its objective can only rise. A drop means the warm
+	// start resumed from a corrupted basis.
+	invariant.Assert(r.raw >= it.raw-1e-6,
+		"branch&bound: child LP bound %g below parent bound %g", r.raw, it.raw)
+	bound := r.raw
+	if b.objIntegral {
+		bound = math.Ceil(bound - 1e-6)
+	}
+	if b.haveInc && bound >= b.incumbentObj-incTol {
+		return nil // dominated by an incumbent merged earlier
+	}
+	if f := b.fracVar(r.x); f >= 0 {
+		b.deque = append(b.deque, b.makeChildren(it, r, f)...)
+		return nil
+	}
+	x, obj := b.canonical(r.x)
+	if !b.haveInc || solutionLess(obj, x, b.incumbentObj, b.incumbent) {
+		b.haveInc = true
+		b.incumbentObj = obj
+		b.incumbent = x
+	}
+	return nil
+}
+
+// makeChildren branches the just-solved node on variable j, returning
+// the two children in push order (dive-first child last, so the LIFO
+// deque pops it first). Both share the node's post-solve state vector;
+// bounds arrays are copied per child.
+func (b *bnb) makeChildren(it *workItem, r *nodeResult, j int) []*workItem {
+	x := r.x[j]
+	floor := math.Floor(x)
+	bound := r.raw
+	if b.objIntegral {
+		bound = math.Ceil(bound - 1e-6)
+	}
+	mk := func(lo0, hi0 float64) *workItem {
+		lo := append([]float64(nil), it.lo...)
+		hi := append([]float64(nil), it.hi...)
+		lo[j], hi[j] = lo0, hi0
+		return &workItem{lo: lo, hi: hi, state: r.state, bound: bound, raw: r.raw}
+	}
+	down := mk(it.lo[j], floor)
+	up := mk(floor+1, it.hi[j])
+	if x-floor <= 0.5 {
+		return []*workItem{up, down} // dive toward floor first
+	}
+	return []*workItem{down, up}
+}
+
+// canonical rounds the integer components of an LP point and evaluates
+// the objective on the rounded vector, so incumbents compare (and are
+// reported) identically no matter which node produced them.
+func (b *bnb) canonical(x []float64) ([]float64, float64) {
+	obj := 0.0
+	for j, v := range b.model.vars {
+		if v.integer {
+			x[j] = math.Round(x[j])
+		}
+		obj += v.obj * x[j]
+	}
+	return x, obj
+}
+
+// solutionLess is the fixed total order on incumbents: strictly better
+// objective wins; objectives tied within tieTol fall back to
+// lexicographic comparison of the solution vectors. Bound pruning makes
+// ties rare (a candidate can tie only when its rounded objective lands
+// above its LP bound), but when one occurs the winner is still decided
+// by a total order, never by arrival timing.
+func solutionLess(aObj float64, a []float64, bObj float64, bv []float64) bool {
+	if aObj < bObj-tieTol {
+		return true
+	}
+	if aObj > bObj+tieTol {
+		return false
+	}
+	for i := range a {
+		d := a[i] - bv[i]
+		if d < -lexTol {
+			return true
+		}
+		if d > lexTol {
+			return false
+		}
+	}
+	return false
+}
+
+// deadlineExpired reports whether the wall-clock deadline passed.
+func (b *bnb) deadlineExpired() bool {
 	return !b.deadline.IsZero() && time.Now().After(b.deadline)
 }
 
-// checkIntegral returns the index of the most fractional integer variable
-// in the current LP solution, or -1 if the solution is integral.
-func (b *bnb) checkIntegral(s *lpSolver) int {
-	x := s.primalValues()
+// fracVar returns the index of the most fractional integer variable in
+// the LP point x, or -1 if the point is integral.
+func (b *bnb) fracVar(x []float64) int {
 	best, bestDist := -1, 1e-6
 	for j, v := range b.model.vars {
 		if !v.integer {
@@ -344,36 +595,10 @@ func (b *bnb) checkIntegral(s *lpSolver) int {
 	return best
 }
 
-// push creates a DFS frame branching on variable j, diving first toward
-// the nearer integer of its LP value.
-func (b *bnb) push(stack []*nodeFrame, s *lpSolver, j int) []*nodeFrame {
-	x := s.primalValues()[j]
-	floor := math.Floor(x)
-	fr := &nodeFrame{
-		variable:    j,
-		oldLo:       s.lo[j],
-		oldHi:       s.hi[j],
-		state:       append([]int8(nil), s.state[:s.nOrig+s.m]...),
-		parentBound: s.structuralObjective(),
-	}
-	down := [2]float64{s.lo[j], floor}
-	up := [2]float64{floor + 1, s.hi[j]}
-	if x-floor <= 0.5 {
-		fr.children = [2][2]float64{down, up}
-	} else {
-		fr.children = [2][2]float64{up, down}
-	}
-	return append(stack, fr)
-}
-
-// finish assembles the final solution.
+// finish assembles the final solution from a canonical (integer-rounded)
+// incumbent vector.
 func (b *bnb) finish(x []float64, obj float64, proven bool) (Solution, error) {
 	vals := append([]float64(nil), x...)
-	for j, v := range b.model.vars {
-		if v.integer {
-			vals[j] = math.Round(vals[j])
-		}
-	}
 	status := Feasible
 	if proven {
 		status = Optimal
