@@ -17,18 +17,29 @@
 //	            [-k 4] [-seeds 3] [-backend ilp|sat] [-timeout 60s]
 //	            [-workers 0] [-parallel 1] [-json out.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-trace out.jsonl] [-metrics] [-pprof :6060]
 //
 // -workers sets the ILP branch & bound parallelism per solve (0 =
 // GOMAXPROCS; the placement is identical for any value). -parallel
 // bounds how many workload instances a sweep solves concurrently.
 // -json runs the Experiment 1 sweep once per comma-separated worker
 // count (e.g. -json BENCH.json -workers 1,4) and writes the
-// machine-readable report scripts/bench.sh commits as BENCH_<stamp>.json.
+// machine-readable report scripts/bench.sh commits as BENCH_<stamp>.json;
+// each run record carries the solver's stop reason, prune breakdown,
+// and final bound gap.
+//
+// -trace appends every solve's event stream to one JSONL file (lines
+// from concurrent solves interleave; use -parallel 1 for a readable
+// single-solve trace). -metrics prints the process-wide Prometheus-text
+// solver counters when the run finishes. -pprof serves net/http/pprof
+// plus /metrics on the given address while the experiments run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,6 +50,7 @@ import (
 
 	"rulefit/internal/bench"
 	"rulefit/internal/core"
+	"rulefit/internal/obs"
 )
 
 func main() {
@@ -140,12 +152,25 @@ func run() error {
 		jsonOut    = flag.String("json", "", "write a machine-readable Experiment 1 report to this file and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceOut   = flag.String("trace", "", "append all solver event streams (JSONL) to this file")
+		metrics    = flag.Bool("metrics", false, "print Prometheus-text solver counters on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	)
 	flag.Parse()
 
 	workerCounts, err := parseWorkers(*workers)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
+	if *metrics {
+		defer func() {
+			if err := obs.Default.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -183,6 +208,22 @@ func run() error {
 	}
 	p.base.Parallel = *parallel
 	p.base.Opts.Workers = workerCounts[0]
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		jw := obs.NewJSONLWriter(f)
+		p.base.Opts.SolverSink = jw
+		defer func() {
+			if err := jw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			}
+		}()
+	}
 
 	if *jsonOut != "" {
 		rep, err := bench.BuildReport(p.base, p.ruleCounts, p.exp1Caps, *seeds, workerCounts)
@@ -277,6 +318,22 @@ func run() error {
 		fmt.Println(bench.RenderBaselines(res))
 	}
 	return nil
+}
+
+// servePprof exposes net/http/pprof (via the default mux) plus the
+// process-wide solver counters at /metrics, for profiling long sweeps.
+func servePprof(addr string) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: /metrics:", err)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: pprof server:", err)
+		}
+	}()
 }
 
 // parseWorkers parses the -workers flag: a comma-separated list of

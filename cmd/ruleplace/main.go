@@ -6,17 +6,27 @@
 //
 //	ruleplace -in problem.json [-backend ilp|sat] [-objective rules|traffic]
 //	          [-merge] [-slice] [-redundancy] [-satisfy] [-tables] [-verify]
-//	          [-timeout 60s]
+//	          [-timeout 60s] [-trace out.jsonl] [-metrics] [-pprof :6060]
+//
+// -trace writes the solver's structured event stream (node expansions,
+// prunes, incumbents, bound gap) as JSONL and prints a search summary.
+// -metrics prints the pipeline phase spans and Prometheus-text counters
+// after the run. -pprof serves net/http/pprof plus /metrics on the given
+// address for the duration of the solve.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"time"
 
 	"rulefit/internal/core"
+	"rulefit/internal/obs"
+	"rulefit/internal/obs/traceview"
 	"rulefit/internal/spec"
 	"rulefit/internal/topology"
 	"rulefit/internal/verify"
@@ -27,6 +37,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ruleplace:", err)
 		os.Exit(1)
 	}
+}
+
+// servePprof exposes net/http/pprof (via the default mux) plus the
+// process-wide solver counters at /metrics, for profiling long solves.
+func servePprof(addr string) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := obs.Default.WritePrometheus(w); err != nil {
+			fmt.Fprintln(os.Stderr, "ruleplace: /metrics:", err)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "ruleplace: pprof server:", err)
+		}
+	}()
 }
 
 func run() error {
@@ -42,13 +68,32 @@ func run() error {
 		doVerify   = flag.Bool("verify", true, "verify placement semantics by sampling")
 		timeout    = flag.Duration("timeout", 120*time.Second, "solver time limit")
 		smtOut     = flag.String("smtlib", "", "also dump the SMT-LIB 2 encoding to this file")
+		traceOut   = flag.String("trace", "", "write the solver event stream (JSONL) to this file")
+		metrics    = flag.Bool("metrics", false, "print phase spans and Prometheus counters after the run")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	)
 	flag.Parse()
 	if *inPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-in is required")
 	}
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
+	var spanTrace *obs.Trace
+	if *metrics {
+		spanTrace = obs.NewTrace()
+		// Printed on exit so the tree includes the post-solve phases
+		// (table compilation, verification).
+		defer func() {
+			fmt.Print(spanTrace.Render())
+			if err := obs.Default.WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "ruleplace: metrics:", err)
+			}
+		}()
+	}
 
+	parseSp := spanTrace.Span("parse")
 	desc, err := spec.LoadFile(*inPath)
 	if err != nil {
 		return err
@@ -57,6 +102,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	parseSp.SetCount("policies", int64(len(prob.Policies)))
+	parseSp.End()
 
 	monitors, err := desc.BuildMonitors()
 	if err != nil {
@@ -70,6 +117,21 @@ func run() error {
 		TimeLimit:       *timeout,
 		Monitors:        monitors,
 	}
+	var (
+		rec       obs.Recorder
+		traceFile *os.File
+		traceJW   *obs.JSONLWriter
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		traceJW = obs.NewJSONLWriter(f)
+		opts.SolverSink = obs.Multi(&rec, traceJW)
+	}
+	opts.Trace = spanTrace
 	switch *backend {
 	case "ilp":
 		opts.Backend = core.BackendILP
@@ -111,6 +173,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if traceFile != nil {
+		if err := traceJW.Flush(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+		sum := traceview.Of(rec.Events())
+		fmt.Printf("trace       : %d events -> %s\n", sum.Events, *traceOut)
+		fmt.Print(sum.Render())
+		if err := sum.Check(); err != nil {
+			return fmt.Errorf("trace self-check: %w", err)
+		}
+	}
 	fmt.Printf("status      : %v\n", pl.Status)
 	fmt.Printf("solve time  : %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("variables   : %d\n", pl.Stats.Variables)
@@ -124,10 +200,13 @@ func run() error {
 		fmt.Printf("max load    : %.1f%%\n", 100*pl.MaxLoad)
 	}
 
+	tablesSp := spanTrace.Span("tables")
 	net, err := pl.BuildTables(prob)
 	if err != nil {
 		return err
 	}
+	tablesSp.SetCount("switches", int64(len(net.Tables)))
+	tablesSp.End()
 	// Per-switch usage summary.
 	ids := make([]topology.SwitchID, 0, len(net.Tables))
 	for id := range net.Tables {
@@ -145,7 +224,9 @@ func run() error {
 		}
 	}
 	if *doVerify {
-		viol := verify.Semantics(net, prob.Routing, pl.Policies, verify.Config{Seed: 1})
+		verifySp := spanTrace.Span("verify")
+		viol := verify.Semantics(net, prob.Routing, pl.Policies, verify.Config{Seed: 1, Span: verifySp})
+		verifySp.End()
 		if len(viol) == 0 {
 			fmt.Println("verification: OK (sampled semantics preserved)")
 		} else {

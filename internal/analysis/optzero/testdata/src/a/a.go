@@ -12,6 +12,9 @@ func positives() {
 	_ = ilp.Options{}                      // want "ilp.Options without TimeLimit or NodeLimit"
 	_ = ilp.Options{DisablePresolve: true} // want "ilp.Options without TimeLimit or NodeLimit"
 	_ = ilp.Options{Workers: 8}            // want "ilp.Options without TimeLimit or NodeLimit"
+	// Attaching observability does not bound the search.
+	_ = ilp.Options{Sink: nil}             // want "ilp.Options without TimeLimit or NodeLimit"
+	_ = ilp.Options{Span: nil, Workers: 2} // want "ilp.Options without TimeLimit or NodeLimit"
 	_ = verify.Config{}                    // want "zero-value verify.Config"
 }
 
@@ -19,7 +22,9 @@ func negatives() {
 	_ = ilp.Options{TimeLimit: time.Minute}
 	_ = ilp.Options{NodeLimit: 100}
 	_ = ilp.Options{TimeLimit: time.Second, FullPricing: true}
+	_ = ilp.Options{NodeLimit: 100, Sink: nil}
 	_ = verify.Config{Seed: 7}
+	_ = verify.Config{Span: nil} // non-empty: effort fields were considered
 	//lint:optzero ablation harness: unbounded solve is the point
 	_ = ilp.Options{}
 }

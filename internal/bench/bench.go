@@ -128,6 +128,25 @@ type Result struct {
 	Nodes        int
 	SimplexIters int
 	Workers      int
+	// LURefactors counts basis refactorizations; Branched..LostSubtrees
+	// break Nodes down by outcome (their sum equals Nodes); PrunedStale
+	// counts frontier items skipped before expansion; Incumbents counts
+	// incumbent improvements during the search.
+	LURefactors      int
+	Branched         int
+	PrunedBound      int
+	PrunedInfeasible int
+	IntegralLeaves   int
+	LostSubtrees     int
+	PrunedStale      int
+	Incumbents       int
+	// StopReason says why the search ended early ("none" when the tree
+	// was exhausted). BestBound/Gap carry the proof state for anytime
+	// runs: Gap is 0 for proven optima, positive for time/node-limited
+	// incumbents, and -1 when undefined.
+	StopReason string
+	BestBound  float64
+	Gap        float64
 }
 
 // Run builds and solves one instance, measuring wall-clock solve time.
@@ -142,14 +161,25 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Status:       pl.Status,
-		TotalRules:   pl.TotalRules,
-		Time:         time.Since(start),
-		Variables:    pl.Stats.Variables,
-		Constraints:  pl.Stats.Constraints,
-		Nodes:        pl.Stats.BnBNodes,
-		SimplexIters: pl.Stats.SimplexIters,
-		Workers:      pl.Stats.Workers,
+		Status:           pl.Status,
+		TotalRules:       pl.TotalRules,
+		Time:             time.Since(start),
+		Variables:        pl.Stats.Variables,
+		Constraints:      pl.Stats.Constraints,
+		Nodes:            pl.Stats.BnBNodes,
+		SimplexIters:     pl.Stats.SimplexIters,
+		Workers:          pl.Stats.Workers,
+		LURefactors:      pl.Stats.LURefactors,
+		Branched:         pl.Stats.Branched,
+		PrunedBound:      pl.Stats.PrunedBound,
+		PrunedInfeasible: pl.Stats.PrunedInfeasible,
+		IntegralLeaves:   pl.Stats.IntegralLeaves,
+		LostSubtrees:     pl.Stats.LostSubtrees,
+		PrunedStale:      pl.Stats.PrunedStale,
+		Incumbents:       pl.Stats.Incumbents,
+		StopReason:       pl.Stats.StopReason.String(),
+		BestBound:        pl.Stats.BestBound,
+		Gap:              pl.Stats.Gap,
 	}, nil
 }
 
@@ -286,6 +316,11 @@ type Table2Cell struct {
 	// OverheadPct is 100*(B-A)/A where A is the no-duplication rule
 	// count (every placed rule exactly once) and B the installed count.
 	OverheadPct float64
+	// BestBound and GapPct qualify unproven cells: how far the reported
+	// incumbent could still be from optimal. GapPct is -1 when no bound
+	// is available (e.g. infeasible cells), 0 for proven ones.
+	BestBound float64
+	GapPct    float64
 }
 
 // Experiment3 reproduces Table II: capacity vs duplication overhead with
@@ -319,12 +354,16 @@ func runCell(cfg Config) (Table2Cell, error) {
 	if err != nil {
 		return Table2Cell{}, err
 	}
-	cell := Table2Cell{MergeableRules: cfg.Mergeable, Capacity: cfg.Capacity, Merging: cfg.Opts.Merging}
+	cell := Table2Cell{MergeableRules: cfg.Mergeable, Capacity: cfg.Capacity, Merging: cfg.Opts.Merging, GapPct: -1}
 	if pl.Status != core.StatusOptimal && pl.Status != core.StatusFeasible {
 		cell.Infeasible = true
 	} else {
 		cell.Proven = pl.Status == core.StatusOptimal
 		cell.TotalRules = pl.TotalRules
+		if pl.Stats.Gap >= 0 {
+			cell.BestBound = pl.Stats.BestBound
+			cell.GapPct = 100 * pl.Stats.Gap
+		}
 		a := noDuplicationCount(pl)
 		if a > 0 {
 			cell.OverheadPct = 100 * float64(pl.TotalRules-a) / float64(a)

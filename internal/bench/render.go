@@ -93,6 +93,7 @@ func RenderTable2(cells []Table2Cell) string {
 	sb.WriteByte('\n')
 	sb.WriteString(strings.Repeat("-", 6+len(capList)*38))
 	sb.WriteByte('\n')
+	var unproven []Table2Cell
 	for _, mr := range rowList {
 		fmt.Fprintf(&sb, "%-6d", mr)
 		for _, c := range capList {
@@ -106,6 +107,7 @@ func RenderTable2(cells []Table2Cell) string {
 						star := ""
 						if !cell.Proven {
 							star = "*"
+							unproven = append(unproven, cell)
 						}
 						text = fmt.Sprintf("%d%s  %+.0f%%", cell.TotalRules, star, cell.OverheadPct)
 					}
@@ -114,6 +116,21 @@ func RenderTable2(cells []Table2Cell) string {
 			}
 		}
 		sb.WriteByte('\n')
+	}
+	// Unproven cells are time-limited incumbents; report how far each
+	// could still be from optimal (the solver's final bound-gap).
+	for _, cell := range unproven {
+		mode := "unmerged"
+		if cell.Merging {
+			mode = "merged"
+		}
+		if cell.GapPct >= 0 {
+			fmt.Fprintf(&sb, "* #MR=%d C=%d %s: incumbent %d, best bound %.1f, gap %.1f%%\n",
+				cell.MergeableRules, cell.Capacity, mode, cell.TotalRules, cell.BestBound, cell.GapPct)
+		} else {
+			fmt.Fprintf(&sb, "* #MR=%d C=%d %s: incumbent %d, no bound available\n",
+				cell.MergeableRules, cell.Capacity, mode, cell.TotalRules)
+		}
 	}
 	return sb.String()
 }
@@ -195,12 +212,12 @@ func WriteCSV(w io.Writer, xLabel string, series map[int][]Point) error {
 
 // WriteTable2CSV emits Experiment 3 cells as CSV.
 func WriteTable2CSV(w io.Writer, cells []Table2Cell) error {
-	if _, err := fmt.Fprintln(w, "mergeable,capacity,merging,infeasible,total_rules,overhead_pct,proven"); err != nil {
+	if _, err := fmt.Fprintln(w, "mergeable,capacity,merging,infeasible,total_rules,overhead_pct,proven,best_bound,gap_pct"); err != nil {
 		return err
 	}
 	for _, c := range cells {
-		if _, err := fmt.Fprintf(w, "%d,%d,%v,%v,%d,%.1f,%v\n",
-			c.MergeableRules, c.Capacity, c.Merging, c.Infeasible, c.TotalRules, c.OverheadPct, c.Proven); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%v,%v,%d,%.1f,%v,%.3f,%.3f\n",
+			c.MergeableRules, c.Capacity, c.Merging, c.Infeasible, c.TotalRules, c.OverheadPct, c.Proven, c.BestBound, c.GapPct); err != nil {
 			return err
 		}
 	}

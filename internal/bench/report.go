@@ -67,7 +67,9 @@ type PointRecord struct {
 	Runs   []RunRecord `json:"runs"`
 }
 
-// RunRecord is one measured solve.
+// RunRecord is one measured solve. The prune/gap breakdown fields were
+// added after the schema's introduction; additions are backward
+// compatible, so the schema string is unchanged.
 type RunRecord struct {
 	Seed         int64   `json:"seed"`
 	Status       string  `json:"status"`
@@ -78,6 +80,21 @@ type RunRecord struct {
 	Nodes        int     `json:"nodes"`
 	SimplexIters int     `json:"simplex_iters"`
 	Workers      int     `json:"workers"`
+	// Node-outcome breakdown: branched + pruned_bound + pruned_infeasible
+	// + integral_leaves + lost_subtrees == nodes.
+	LURefactors      int    `json:"lu_refactors"`
+	Branched         int    `json:"branched"`
+	PrunedBound      int    `json:"pruned_bound"`
+	PrunedInfeasible int    `json:"pruned_infeasible"`
+	IntegralLeaves   int    `json:"integral_leaves"`
+	LostSubtrees     int    `json:"lost_subtrees"`
+	PrunedStale      int    `json:"pruned_stale"`
+	Incumbents       int    `json:"incumbents"`
+	StopReason       string `json:"stop_reason"`
+	// Gap is 0 for proven optima, positive for anytime incumbents, and
+	// -1 when undefined; best_bound is meaningful only when gap >= 0.
+	BestBound float64 `json:"best_bound"`
+	Gap       float64 `json:"gap"`
 }
 
 // SpeedupRecord compares one worker count's total sweep wall time
@@ -142,15 +159,26 @@ func BuildReport(base Config, ruleCounts, capacities []int, seeds int, workerCou
 				}
 				for s, r := range p.Runs {
 					pr.Runs = append(pr.Runs, RunRecord{
-						Seed:         base.Seed + int64(s)*101,
-						Status:       r.Status.String(),
-						WallMS:       ms(r.Time),
-						TotalRules:   r.TotalRules,
-						Variables:    r.Variables,
-						Constraints:  r.Constraints,
-						Nodes:        r.Nodes,
-						SimplexIters: r.SimplexIters,
-						Workers:      r.Workers,
+						Seed:             base.Seed + int64(s)*101,
+						Status:           r.Status.String(),
+						WallMS:           ms(r.Time),
+						TotalRules:       r.TotalRules,
+						Variables:        r.Variables,
+						Constraints:      r.Constraints,
+						Nodes:            r.Nodes,
+						SimplexIters:     r.SimplexIters,
+						Workers:          r.Workers,
+						LURefactors:      r.LURefactors,
+						Branched:         r.Branched,
+						PrunedBound:      r.PrunedBound,
+						PrunedInfeasible: r.PrunedInfeasible,
+						IntegralLeaves:   r.IntegralLeaves,
+						LostSubtrees:     r.LostSubtrees,
+						PrunedStale:      r.PrunedStale,
+						Incumbents:       r.Incumbents,
+						StopReason:       r.StopReason,
+						BestBound:        r.BestBound,
+						Gap:              r.Gap,
 					})
 					totals[w] += ms(r.Time)
 				}

@@ -16,7 +16,7 @@ func ReplicateEverywhere(prob *Problem, opts Options) (*Placement, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
-	enc, err := buildEncoding(prob, opts)
+	enc, err := buildEncoding(prob, opts, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -35,7 +35,7 @@ func BenchmarkEncodingBuild(b *testing.B) {
 	prob := benchProblem(b, 50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := buildEncoding(prob, Options{}.withDefaults()); err != nil {
+		if _, err := buildEncoding(prob, Options{}.withDefaults(), nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,13 +32,13 @@ func TestBackendFeasibilityCrossCheck(t *testing.T) {
 		pols = append(pols, policy.Generate(int(in), policy.GenConfig{NumRules: 20, Seed: 1}))
 	}
 	prob := &Problem{Network: topo, Routing: rt, Policies: pols}
-	enc, err := buildEncoding(prob, Options{}.withDefaults())
+	enc, err := buildEncoding(prob, Options{}.withDefaults(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// SAT witness.
-	satPl, err := solveSAT(enc, Options{Backend: BackendSAT, SatisfyOnly: true, TimeLimit: 2 * time.Minute})
+	satPl, err := solveSAT(enc, Options{Backend: BackendSAT, SatisfyOnly: true, TimeLimit: 2 * time.Minute}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

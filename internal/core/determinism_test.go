@@ -118,7 +118,7 @@ func TestILPModelDeterministic(t *testing.T) {
 		t.Run(fx.name, func(t *testing.T) {
 			opts := Options{Merging: true}.withDefaults()
 			lp := func() ([]byte, []deps.DummyRule) {
-				enc, err := buildEncoding(fx.build(t), opts)
+				enc, err := buildEncoding(fx.build(t), opts, nil)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"rulefit/internal/deps"
+	"rulefit/internal/obs"
 	"rulefit/internal/policy"
 	"rulefit/internal/routing"
 	"rulefit/internal/topology"
@@ -86,7 +87,8 @@ type encoding struct {
 }
 
 // buildEncoding assembles the constraint system for a validated problem.
-func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
+// span (nil-safe) gets one child per pipeline stage.
+func buildEncoding(prob *Problem, opts Options, span *obs.Span) (*encoding, error) {
 	e := &encoding{
 		prob:   prob,
 		opts:   opts,
@@ -95,6 +97,7 @@ func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
 	}
 
 	// Stage 1 (optional): redundancy removal, per Fig. 4.
+	redSp := span.Child("redundancy")
 	e.policies = make([]*policy.Policy, len(prob.Policies))
 	for i, pol := range prob.Policies {
 		if opts.RemoveRedundant {
@@ -104,16 +107,20 @@ func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
 			e.policies[i] = pol.Clone()
 		}
 	}
+	redSp.End()
 
 	// Stage 2: dependency graphs.
+	depSp := span.Child("dep_graph")
 	e.graphs = make([]*deps.Graph, len(e.policies))
 	for i, pol := range e.policies {
 		e.graphs[i] = deps.BuildGraph(pol)
 	}
+	depSp.End()
 
 	// Stage 3: variables. For each policy, DROP rules get variables on
 	// the switches of their relevant paths; dependent PERMIT rules get
 	// variables wherever one of their drops might go.
+	varSp := span.Child("variables")
 	for pi, pol := range e.policies {
 		ps := prob.Routing.Sets[topology.PortID(pol.Ingress)]
 		g := e.graphs[pi]
@@ -149,8 +156,11 @@ func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
 			}
 		}
 	}
+	varSp.SetCount("vars", int64(len(e.vars)))
+	varSp.End()
 
 	// Stage 4: rule dependency constraints (Eq. 1).
+	consSp := span.Child("constraints")
 	for pi, g := range e.graphs {
 		for _, w := range g.Drops() {
 			for _, u := range g.Dependents(w) {
@@ -158,6 +168,7 @@ func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
 					vw := e.index[evar{kind: varRule, pol: pi, rule: w, sw: sw}]
 					vu, ok := e.index[evar{kind: varRule, pol: pi, rule: u, sw: sw}]
 					if !ok {
+						consSp.End()
 						return nil, fmt.Errorf("core: missing permit variable p%d/r%d at switch %d", pi, u, sw)
 					}
 					e.imps = append(e.imps, [2]int{vw, vu})
@@ -183,6 +194,7 @@ func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
 					}
 				}
 				if len(cover) == 0 {
+					consSp.End()
 					if len(opts.Monitors) > 0 {
 						e.infeasibleReason = fmt.Sprintf("drop rule p%d/r%d has no monitor-compatible switch on path %v", pi, w, path)
 						return e, nil
@@ -193,16 +205,26 @@ func buildEncoding(prob *Problem, opts Options) (*encoding, error) {
 			}
 		}
 	}
+	consSp.SetCount("imps", int64(len(e.imps)))
+	consSp.SetCount("covers", int64(len(e.covers)))
+	consSp.End()
 
 	// Stage 6 (optional): merge groups over placed rules (§IV-B).
 	if opts.Merging {
+		mergeSp := span.Child("merging")
 		if err := e.buildMerging(); err != nil {
+			mergeSp.End()
 			return nil, err
 		}
+		mergeSp.SetCount("groups", int64(len(e.groups)))
+		mergeSp.End()
 	}
 
 	// Stage 7: capacity rows (Eq. 3).
+	capSp := span.Child("capacities")
 	e.buildCapacities()
+	capSp.SetCount("rows", int64(len(e.capRows)))
+	capSp.End()
 
 	// Traffic weights for ObjTraffic: rule variables first, then the
 	// merged adjustments (which reference the rule weights).

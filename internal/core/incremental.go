@@ -124,7 +124,7 @@ func GreedyPlace(prob *Problem, opts Options) (*Placement, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
-	enc, err := buildEncoding(prob, opts)
+	enc, err := buildEncoding(prob, opts, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rulefit/internal/ilp"
+	"rulefit/internal/obs"
 	"rulefit/internal/sat"
 	"rulefit/internal/topology"
 )
@@ -15,13 +16,20 @@ import (
 // assignment happens when tables are compiled (BuildTables).
 func Place(prob *Problem, opts Options) (*Placement, error) {
 	opts = opts.withDefaults()
+	place := opts.Trace.Span("place")
+	defer place.End()
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
-	enc, err := buildEncoding(prob, opts)
+	encSp := place.Child("encode")
+	enc, err := buildEncoding(prob, opts, encSp)
 	if err != nil {
+		encSp.End()
 		return nil, err
 	}
+	encSp.SetCount("vars", int64(len(enc.vars)))
+	encSp.SetCount("constraints", int64(enc.numConstraints()))
+	encSp.End()
 	if enc.infeasibleReason != "" {
 		// The encoding itself proved the instance unsatisfiable (e.g. a
 		// monitoring constraint leaves a DROP rule nowhere to go).
@@ -29,7 +37,7 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 			Status:   StatusInfeasible,
 			Policies: enc.policies,
 			Groups:   enc.groups,
-			Stats:    Stats{Backend: opts.Backend},
+			Stats:    Stats{Backend: opts.Backend, Gap: -1},
 		}, nil
 	}
 	if opts.Objective == ObjMinMaxLoad && opts.Backend != BackendILP && !opts.SatisfyOnly {
@@ -39,9 +47,9 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 	var pl *Placement
 	switch opts.Backend {
 	case BackendILP:
-		pl, err = solveILP(enc, opts)
+		pl, err = solveILP(enc, opts, place)
 	case BackendSAT:
-		pl, err = solveSAT(enc, opts)
+		pl, err = solveSAT(enc, opts, place)
 	default:
 		return nil, fmt.Errorf("core: unknown backend %v", opts.Backend)
 	}
@@ -56,20 +64,42 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 }
 
 // solveILP encodes to the MILP solver (Eqs. 1–5) and extracts the result.
-func solveILP(enc *encoding, opts Options) (*Placement, error) {
+func solveILP(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
+	buildSp := span.Child("model_build")
 	m, ids, zVar := buildILPModel(enc, opts)
+	buildSp.SetCount("vars", int64(m.NumVars()))
+	buildSp.SetCount("constraints", int64(m.NumConstraints()))
+	buildSp.End()
+	solveSp := span.Child("solve")
 	sol, err := ilp.Solve(m, ilp.Options{
 		TimeLimit:       opts.TimeLimit,
 		DisablePresolve: opts.DisablePresolve,
 		Workers:         opts.Workers,
+		Sink:            opts.SolverSink,
+		Span:            solveSp,
 	})
 	if err != nil {
+		solveSp.End()
 		return nil, err
 	}
+	solveSp.SetCount("nodes", int64(sol.Stats.Nodes))
+	solveSp.SetCount("iters", int64(sol.Stats.SimplexIters))
+	solveSp.End()
 	pl := &Placement{Policies: enc.policies, Groups: enc.groups}
 	pl.Stats.SimplexIters = sol.Stats.SimplexIters
 	pl.Stats.BnBNodes = sol.Stats.Nodes
 	pl.Stats.Workers = sol.Stats.Workers
+	pl.Stats.LURefactors = sol.Stats.LURefactors
+	pl.Stats.Branched = sol.Stats.Branched
+	pl.Stats.PrunedBound = sol.Stats.PrunedBound
+	pl.Stats.PrunedInfeasible = sol.Stats.PrunedInfeasible
+	pl.Stats.IntegralLeaves = sol.Stats.IntegralLeaves
+	pl.Stats.LostSubtrees = sol.Stats.LostSubtrees
+	pl.Stats.PrunedStale = sol.Stats.PrunedStale
+	pl.Stats.Incumbents = sol.Stats.Incumbents
+	pl.Stats.StopReason = sol.Stats.StopReason
+	pl.Stats.BestBound = sol.Stats.BestBound
+	pl.Stats.Gap = sol.Stats.Gap
 	switch sol.Status {
 	case ilp.Optimal:
 		pl.Status = StatusOptimal
@@ -82,8 +112,10 @@ func solveILP(enc *encoding, opts Options) (*Placement, error) {
 		pl.Status = StatusLimit
 		return pl, nil
 	}
+	extractSp := span.Child("extract")
 	assignment := func(id int) bool { return sol.Values[ids[id]] > 0.5 }
 	extract(enc, pl, assignment)
+	extractSp.End()
 	pl.Objective = sol.Objective
 	if zVar >= 0 {
 		pl.MaxLoad = sol.Values[zVar]
@@ -173,7 +205,9 @@ func buildILPModel(enc *encoding, opts Options) (m *ilp.Model, ids []int, zVar i
 }
 
 // solveSAT encodes to the CDCL/PB solver (Eqs. 6–8) and extracts.
-func solveSAT(enc *encoding, opts Options) (*Placement, error) {
+func solveSAT(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
+	solveSp := span.Child("solve")
+	defer solveSp.End()
 	s := sat.NewSolver()
 	if opts.TimeLimit > 0 {
 		s.SetDeadline(time.Now().Add(opts.TimeLimit))
@@ -224,6 +258,7 @@ func solveSAT(enc *encoding, opts Options) (*Placement, error) {
 	}
 
 	pl := &Placement{Policies: enc.policies, Groups: enc.groups}
+	pl.Stats.Gap = -1 // the SAT backend carries no LP bound
 	if !ok {
 		pl.Status = StatusInfeasible
 		return pl, nil

@@ -15,7 +15,9 @@ import (
 	"time"
 
 	"rulefit/internal/deps"
+	"rulefit/internal/ilp"
 	"rulefit/internal/match"
+	"rulefit/internal/obs"
 	"rulefit/internal/policy"
 	"rulefit/internal/routing"
 	"rulefit/internal/topology"
@@ -117,6 +119,14 @@ type Options struct {
 	// Workers sets the ILP branch & bound parallelism (0 = GOMAXPROCS).
 	// The placement returned is independent of the worker count.
 	Workers int
+	// Trace, when non-nil, collects hierarchical phase spans (encode →
+	// model build → solve → extract) for the run. Timing only; the
+	// placement is identical with or without it.
+	Trace *obs.Trace
+	// SolverSink receives structured solver events from the ILP backend
+	// (nil disables tracing). The placement is byte-identical with the
+	// sink attached or not.
+	SolverSink obs.Sink
 }
 
 // withDefaults fills in unset options.
@@ -229,6 +239,28 @@ type Stats struct {
 	Workers      int
 	SATConflicts int64
 	SATDecisions int64
+
+	// LURefactors counts basis LU refactorizations (ILP backend).
+	LURefactors int
+	// Branched..LostSubtrees break BnBNodes down by outcome; their sum
+	// equals BnBNodes. PrunedStale counts frontier items discarded
+	// before expansion. Incumbents counts incumbent improvements.
+	Branched         int
+	PrunedBound      int
+	PrunedInfeasible int
+	IntegralLeaves   int
+	LostSubtrees     int
+	PrunedStale      int
+	Incumbents       int
+	// StopReason says why the ILP search ended early (ilp.StopNone when
+	// the tree was exhausted).
+	StopReason ilp.StopReason
+	// BestBound/Gap carry the solver's final proof state: Gap is 0 when
+	// optimality was proven, positive for time/node-limited anytime
+	// placements (the paper's Table 2 asterisk cells), and -1 when
+	// undefined. BestBound is meaningful only when Gap >= 0.
+	BestBound float64
+	Gap       float64
 }
 
 // Placement is the result of solving a placement problem.

@@ -22,7 +22,7 @@ func WriteSMTLIB(w io.Writer, prob *Problem, opts Options, optimize bool) error 
 	if err := prob.Validate(); err != nil {
 		return err
 	}
-	enc, err := buildEncoding(prob, opts)
+	enc, err := buildEncoding(prob, opts, nil)
 	if err != nil {
 		return err
 	}

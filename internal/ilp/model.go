@@ -204,12 +204,78 @@ type Solution struct {
 	Stats  Stats
 }
 
+// StopReason says why a solve stopped before proving its answer.
+// StopNone means the search ran to completion (Optimal or Infeasible
+// was proven, modulo lost subtrees).
+type StopReason int
+
+// Stop reasons, in precedence order when several apply.
+const (
+	// StopNone: the search exhausted the tree.
+	StopNone StopReason = iota
+	// StopDeadline: the wall-clock TimeLimit expired.
+	StopDeadline
+	// StopNodeLimit: the NodeLimit was reached.
+	StopNodeLimit
+	// StopLostSubtree: a node LP failed (numerics) and its subtree was
+	// abandoned, so the exhausted tree no longer proves anything.
+	StopLostSubtree
+)
+
+// String renders the stop reason.
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopDeadline:
+		return "deadline"
+	case StopNodeLimit:
+		return "node-limit"
+	case StopLostSubtree:
+		return "lost-subtree"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
 // Stats collects solver effort counters. SimplexIters and Nodes are
 // summed across branch & bound workers; Workers records the parallelism
 // the solve actually used.
+//
+// Every expanded node gets exactly one outcome, so
+// Branched + PrunedBound + PrunedInfeasible + IntegralLeaves +
+// LostSubtrees == Nodes. PrunedStale counts deque items discarded
+// before expansion (bound dominated by a later incumbent); they are not
+// nodes and not in that sum.
 type Stats struct {
 	SimplexIters int
 	Nodes        int
 	PresolveFix  int
 	Workers      int
+	// LURefactors counts basis LU refactorizations across all node LPs.
+	LURefactors int
+
+	// Per-outcome node counters (see invariant above).
+	Branched         int
+	PrunedBound      int
+	PrunedInfeasible int
+	IntegralLeaves   int
+	LostSubtrees     int
+	// PrunedStale counts items skipped at pop time, before becoming nodes.
+	PrunedStale int
+	// Incumbents counts incumbent improvements (first solution included).
+	Incumbents int
+
+	// StopReason says why the search ended early (StopNone when the tree
+	// was exhausted cleanly).
+	StopReason StopReason
+	// BestBound is a valid lower bound on the optimal objective at the
+	// end of the solve. Meaningful only when Gap >= 0.
+	BestBound float64
+	// Gap is the relative optimality gap
+	// (Objective - BestBound) / max(|Objective|, 1e-9): 0 when
+	// optimality was proven, positive for anytime solutions, and -1 when
+	// undefined (no incumbent, infeasible, or unbounded) — a sentinel
+	// rather than NaN/Inf so Stats stays JSON-encodable.
+	Gap float64
 }

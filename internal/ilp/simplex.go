@@ -72,8 +72,9 @@ type lpSolver struct {
 	cost    []float64 // active objective (phase 1 or 2)
 	inPhase int
 
-	iters    int
-	deadline time.Time
+	iters     int
+	refactors int // LU refactorizations performed
+	deadline  time.Time
 
 	// bufA is a scratch row vector reused by refactorize.
 	bufA []float64
@@ -208,6 +209,7 @@ func clamp(v, lo, hi float64) float64 {
 // refactorize rebuilds the LU factorization of the current basis and
 // recomputes basic values from scratch, flushing accumulated drift.
 func (s *lpSolver) refactorize() error {
+	s.refactors++
 	cols := make([][]entry, s.m)
 	for i, v := range s.basic {
 		cols[i] = s.cols[v]

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rulefit/internal/invariant"
+	"rulefit/internal/obs"
 )
 
 // Options controls a solve.
@@ -31,17 +32,51 @@ type Options struct {
 	// item, and round results are merged in a deterministic order — so
 	// Workers=1 and Workers=8 return byte-identical results.
 	Workers int
+	// Sink receives structured solver events (nil disables tracing; the
+	// disabled path costs one branch per emission site). Events are
+	// emitted only from the solver's sequential sections and nothing is
+	// ever read back from the sink, so the search — and the returned
+	// solution — is byte-identical with tracing on or off and the event
+	// sequence is identical (modulo Event.TimeMS) for any worker count.
+	Sink obs.Sink
+	// Span, when non-nil, is the parent under which the solver opens
+	// presolve / root_lp / search timing child spans.
+	Span *obs.Span
 }
 
 // Solve minimizes the model. The returned solution's Values are rounded
 // to integers for integer variables when a solution is found.
 func Solve(m *Model, opts Options) (Solution, error) {
+	start := time.Now()
+	sol, err := solve(m, opts, start)
+	if err != nil {
+		return sol, err
+	}
+	obs.Default.RecordSolve(obs.SolveSample{
+		Status:         sol.Status.String(),
+		Wall:           time.Since(start),
+		Nodes:          sol.Stats.Nodes,
+		SimplexIters:   sol.Stats.SimplexIters,
+		LURefactors:    sol.Stats.LURefactors,
+		PresolveFixes:  sol.Stats.PresolveFix,
+		Incumbents:     sol.Stats.Incumbents,
+		Branched:       sol.Stats.Branched,
+		PrunedBound:    sol.Stats.PrunedBound,
+		PrunedInfeas:   sol.Stats.PrunedInfeasible,
+		IntegralLeaves: sol.Stats.IntegralLeaves,
+		LostSubtrees:   sol.Stats.LostSubtrees,
+		PrunedStale:    sol.Stats.PrunedStale,
+	})
+	return sol, nil
+}
+
+func solve(m *Model, opts Options, start time.Time) (Solution, error) {
 	if err := m.Validate(); err != nil {
 		return Solution{}, err
 	}
 	var deadline time.Time
 	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+		deadline = start.Add(opts.TimeLimit)
 	}
 
 	lo := make([]float64, len(m.vars))
@@ -54,11 +89,22 @@ func Solve(m *Model, opts Options) (Solution, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	stats := Stats{Workers: workers}
+	stats := Stats{Workers: workers, Gap: -1}
 	work := m
 	if !opts.DisablePresolve {
-		switch presolve(m, lo, hi, &stats) {
-		case presolveInfeasible:
+		pre := opts.Span.Child("presolve")
+		res := presolve(m, lo, hi, &stats)
+		pre.SetCount("fixes", int64(stats.PresolveFix))
+		pre.End()
+		if opts.Sink != nil {
+			opts.Sink.Event(obs.Event{Kind: obs.KindPresolve, Fixes: stats.PresolveFix,
+				BranchVar: -1, Gap: -1, TimeMS: msSince(start)})
+		}
+		if res == presolveInfeasible {
+			if opts.Sink != nil {
+				opts.Sink.Event(obs.Event{Kind: obs.KindDone, Outcome: Infeasible.String(),
+					Reason: StopNone.String(), BranchVar: -1, Gap: -1, TimeMS: msSince(start)})
+			}
 			return Solution{Status: Infeasible, Stats: stats}, nil
 		}
 		if invariant.Enabled {
@@ -81,12 +127,22 @@ func Solve(m *Model, opts Options) (Solution, error) {
 		stats:       stats,
 		fullPricing: opts.FullPricing,
 		workers:     workers,
+		sink:        opts.Sink,
+		span:        opts.Span,
+		start:       start,
+		lostBound:   math.Inf(1),
 	}
 	sol, err := bb.run(lo, hi)
 	if err != nil {
 		return Solution{}, err
 	}
 	return sol, nil
+}
+
+// msSince is the wall-clock offset stamped on events. Timing only —
+// never read back into the search.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1e3
 }
 
 type presolveResult int
@@ -228,6 +284,13 @@ type bnb struct {
 	stats    Stats
 	workers  int
 
+	// sink/span/start feed the observability layer. All emission happens
+	// in the sequential sections (run and the merge loop), and nothing is
+	// read back, so they cannot perturb the search.
+	sink  obs.Sink
+	span  *obs.Span
+	start time.Time
+
 	objIntegral bool
 	fullPricing bool
 
@@ -244,6 +307,9 @@ type bnb struct {
 	// numerics); a clean "Infeasible" or "Optimal" conclusion is then
 	// impossible.
 	lostSubtree bool
+	// lostBound is the lowest pruning bound among lost subtrees; open
+	// lost subtrees cap how good BestBound may claim to be.
+	lostBound float64
 }
 
 // workItem is one branch & bound subtree: the structural variable bounds
@@ -255,17 +321,26 @@ type workItem struct {
 	state  []int8    // parent states for structurals+slacks (shared, read-only)
 	bound  float64   // parent's pruning bound (ceiled when the objective is integral)
 	raw    float64   // parent's raw LP objective, for monotonicity checks
+
+	// id is the 1-based expansion number (assigned when the item is
+	// popped and counted as a node; the root is 1). parent/depth identify
+	// the item's place in the tree for trace events; none of the three
+	// influence the search.
+	id     int
+	parent int
+	depth  int
 }
 
 // nodeResult is the outcome of one node LP solve, captured by a worker
 // for the deterministic merge.
 type nodeResult struct {
-	st    lpStatus
-	err   error
-	raw   float64   // LP objective at the node
-	x     []float64 // structural primal values
-	state []int8    // post-solve nonbasic states (structurals+slacks)
-	iters int       // simplex iterations spent on this node
+	st        lpStatus
+	err       error
+	raw       float64   // LP objective at the node
+	x         []float64 // structural primal values
+	state     []int8    // post-solve nonbasic states (structurals+slacks)
+	iters     int       // simplex iterations spent on this node
+	refactors int       // LU refactorizations spent on this node
 }
 
 func (b *bnb) run(lo, hi []float64) (Solution, error) {
@@ -278,44 +353,78 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 			break
 		}
 	}
+	rootSp := b.span.Child("root_lp")
 	s := newLPSolver(m, lo, hi)
 	s.deadline = b.deadline
 	s.fullPricing = b.fullPricing
 	s.initBasis()
 	st, err := s.solveLP()
+	rootSp.SetCount("iters", int64(s.iters))
+	rootSp.SetCount("refactors", int64(s.refactors))
+	rootSp.End()
 	if err != nil {
 		return Solution{}, err
 	}
 	b.stats.SimplexIters = s.iters
+	b.stats.LURefactors = s.refactors
 	switch st {
 	case lpInfeasible:
-		return Solution{Status: Infeasible, Stats: b.stats}, nil
+		return b.noSolution(Infeasible)
 	case lpUnbounded:
-		return Solution{Status: Unbounded, Stats: b.stats}, nil
+		return b.noSolution(Unbounded)
 	case lpTimeLimit:
-		return Solution{Status: LimitReached, Stats: b.stats}, nil
+		b.hitDeadline = true
+		return b.noSolution(LimitReached)
 	}
 
 	b.incumbentObj = math.Inf(1)
 	b.stats.Nodes = 1 // root
 
+	rootRaw := s.structuralObjective()
+	if b.sink != nil {
+		b.emit(obs.Event{Kind: obs.KindRootLP, Bound: rootRaw,
+			Iters: s.iters, Refactors: s.refactors, BranchVar: -1, Gap: -1})
+	}
+	rootBound := rootRaw
+	if b.objIntegral {
+		rootBound = math.Ceil(rootBound - 1e-6)
+	}
+
 	rootX := s.primalValues()
 	if frac := b.fracVar(rootX); frac >= 0 {
+		b.stats.Branched++
+		if b.sink != nil {
+			f := rootX[frac] - math.Floor(rootX[frac])
+			b.emit(obs.Event{Kind: obs.KindNode, Node: 1, Outcome: obs.OutcomeBranched,
+				Bound: rootBound, BranchVar: frac, Frac: math.Min(f, 1-f), Gap: -1})
+		}
 		root := &workItem{
 			lo: append([]float64(nil), s.lo[:s.nOrig]...),
 			hi: append([]float64(nil), s.hi[:s.nOrig]...),
+			id: 1,
 		}
 		rootRes := nodeResult{
-			raw:   s.structuralObjective(),
+			raw:   rootRaw,
 			x:     rootX,
 			state: append([]int8(nil), s.state[:s.nOrig+s.m]...),
 		}
 		b.deque = b.makeChildren(root, &rootRes, frac)
-		if err := b.search(s); err != nil {
+		searchSp := b.span.Child("search")
+		err := b.search(s)
+		searchSp.SetCount("nodes", int64(b.stats.Nodes))
+		searchSp.End()
+		if err != nil {
 			return Solution{}, err
 		}
 	} else {
+		b.stats.IntegralLeaves++
+		b.stats.Incumbents++
 		x, obj := b.canonical(rootX)
+		if b.sink != nil {
+			b.emit(obs.Event{Kind: obs.KindNode, Node: 1, Outcome: obs.OutcomeIntegral,
+				Bound: rootBound, BranchVar: -1, Gap: -1})
+			b.emit(obs.Event{Kind: obs.KindIncumbent, Node: 1, Incumbent: obj, Gap: -1})
+		}
 		return b.finish(x, obj, true)
 	}
 
@@ -323,15 +432,77 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 		if b.haveInc {
 			return b.finish(b.incumbent, b.incumbentObj, false)
 		}
-		return Solution{Status: LimitReached, Stats: b.stats}, nil
+		return b.noSolution(LimitReached)
 	}
 	if b.haveInc {
 		return b.finish(b.incumbent, b.incumbentObj, !b.lostSubtree)
 	}
 	if b.lostSubtree {
-		return Solution{Status: LimitReached, Stats: b.stats}, nil
+		return b.noSolution(LimitReached)
 	}
-	return Solution{Status: Infeasible, Stats: b.stats}, nil
+	return b.noSolution(Infeasible)
+}
+
+// emit stamps the wall-clock offset onto an event and forwards it to
+// the sink. Callers guard with b.sink != nil so the disabled path never
+// constructs events.
+func (b *bnb) emit(e obs.Event) {
+	e.TimeMS = msSince(b.start)
+	b.sink.Event(e)
+}
+
+// stopReason derives the stop reason from the limit flags, in
+// precedence order.
+func (b *bnb) stopReason() StopReason {
+	switch {
+	case b.hitDeadline:
+		return StopDeadline
+	case b.hitNodeLimit:
+		return StopNodeLimit
+	case b.lostSubtree:
+		return StopLostSubtree
+	}
+	return StopNone
+}
+
+// openBound is the lowest LP bound among subtrees not yet explored: the
+// open deque items plus any lost subtrees. The true optimum cannot lie
+// below it.
+func (b *bnb) openBound() float64 {
+	bound := b.lostBound
+	for _, it := range b.deque {
+		if it.bound < bound {
+			bound = it.bound
+		}
+	}
+	return bound
+}
+
+// bestBoundAndGap computes the final proof state for an incumbent with
+// objective obj. The bound is clamped to obj so the gap is never
+// negative, and both stay finite (JSON-safe).
+func (b *bnb) bestBoundAndGap(obj float64, proven bool) (float64, float64) {
+	if proven {
+		return obj, 0
+	}
+	bb := b.openBound()
+	if bb > obj {
+		bb = obj
+	}
+	return bb, (obj - bb) / math.Max(math.Abs(obj), 1e-9)
+}
+
+// noSolution finalizes a solve that ends without an incumbent
+// (infeasible, unbounded, or a limit hit before any integer solution).
+func (b *bnb) noSolution(status Status) (Solution, error) {
+	b.stats.StopReason = b.stopReason()
+	b.stats.Gap = -1
+	if b.sink != nil {
+		b.emit(obs.Event{Kind: obs.KindDone, Node: b.stats.Nodes, Outcome: status.String(),
+			Reason: b.stats.StopReason.String(), Iters: b.stats.SimplexIters,
+			BranchVar: -1, Gap: -1})
+	}
+	return Solution{Status: status, Stats: b.stats}, nil
 }
 
 // search runs the synchronous-rounds tree search. Per round: pop live
@@ -373,18 +544,29 @@ func (b *bnb) search(s *lpSolver) error {
 		}
 		batch = batch[:0]
 		for len(batch) < width && len(b.deque) > 0 {
+			// Check the cap before popping: every item that leaves the
+			// deque is either skipped (stale) or counted AND solved, so
+			// the per-outcome counters always sum to Nodes.
+			if b.nodeCap > 0 && b.stats.Nodes >= b.nodeCap {
+				b.hitNodeLimit = true
+				break
+			}
 			n := len(b.deque)
 			it := b.deque[n-1]
 			b.deque[n-1] = nil
 			b.deque = b.deque[:n-1]
 			if b.haveInc && it.bound >= b.incumbentObj-incTol {
-				continue // subtree dominated since it was pushed
-			}
-			if b.nodeCap > 0 && b.stats.Nodes >= b.nodeCap {
-				b.hitNodeLimit = true
-				return nil
+				// Subtree dominated since it was pushed: discarded before
+				// becoming a node, so it gets no id and no outcome.
+				b.stats.PrunedStale++
+				if b.sink != nil {
+					b.emit(obs.Event{Kind: obs.KindSkip, Parent: it.parent, Depth: it.depth,
+						Bound: it.bound, BranchVar: -1, Gap: -1})
+				}
+				continue
 			}
 			b.stats.Nodes++
+			it.id = b.stats.Nodes
 			batch = append(batch, it)
 		}
 		res := results[:len(batch)]
@@ -395,10 +577,23 @@ func (b *bnb) search(s *lpSolver) error {
 				return err
 			}
 		}
-		// Poll the wall clock every ~deadlineEveryNodes nodes and after
-		// rounds that improved the incumbent, not per node.
 		sinceDeadline += len(batch)
 		improved := b.haveInc && (!hadInc || b.incumbentObj < prevObj)
+		if improved && b.sink != nil {
+			// One point of the bound-gap time series per improving round.
+			bb := b.incumbentObj
+			if ob := b.openBound(); ob < bb {
+				bb = ob
+			}
+			b.emit(obs.Event{Kind: obs.KindGap, Node: b.stats.Nodes, BranchVar: -1,
+				Incumbent: b.incumbentObj, BestBound: bb,
+				Gap: (b.incumbentObj - bb) / math.Max(math.Abs(b.incumbentObj), 1e-9)})
+		}
+		if b.hitNodeLimit {
+			return nil
+		}
+		// Poll the wall clock every ~deadlineEveryNodes nodes and after
+		// rounds that improved the incumbent, not per node.
 		if sinceDeadline >= deadlineEveryNodes || improved {
 			sinceDeadline = 0
 			if b.deadlineExpired() {
@@ -453,9 +648,10 @@ func solveNode(s *lpSolver, it *workItem) nodeResult {
 	copy(s.hi[:s.nOrig], it.hi)
 	copy(s.state[:s.nOrig+s.m], it.state)
 	s.priceCursor, s.priceWindow = 0, 0
-	startIters := s.iters
+	startIters, startRefactors := s.iters, s.refactors
 	st, err := s.resolveAfterBoundChange()
-	r := nodeResult{st: st, err: err, iters: s.iters - startIters}
+	r := nodeResult{st: st, err: err,
+		iters: s.iters - startIters, refactors: s.refactors - startRefactors}
 	if err != nil || st != lpOptimal {
 		return r
 	}
@@ -470,17 +666,30 @@ func solveNode(s *lpSolver, it *workItem) nodeResult {
 // batch order, so every decision here is deterministic.
 func (b *bnb) mergeNode(it *workItem, r *nodeResult) error {
 	b.stats.SimplexIters += r.iters
+	b.stats.LURefactors += r.refactors
 	if r.err != nil {
 		return r.err
 	}
 	switch r.st {
 	case lpOptimal:
 	case lpInfeasible:
-		return nil // proven empty: sound prune
+		// Proven empty: sound prune.
+		b.stats.PrunedInfeasible++
+		if b.sink != nil {
+			b.emit(b.nodeEvent(it, r, obs.OutcomeInfeasible, it.bound))
+		}
+		return nil
 	default:
 		// Time limit or numeric trouble: the subtree is lost, so an
 		// Infeasible or proven-Optimal conclusion is no longer possible.
 		b.lostSubtree = true
+		b.stats.LostSubtrees++
+		if it.bound < b.lostBound {
+			b.lostBound = it.bound
+		}
+		if b.sink != nil {
+			b.emit(b.nodeEvent(it, r, obs.OutcomeLost, it.bound))
+		}
 		return nil
 	}
 	// A child LP is the parent LP plus one tightened bound, so
@@ -493,19 +702,49 @@ func (b *bnb) mergeNode(it *workItem, r *nodeResult) error {
 		bound = math.Ceil(bound - 1e-6)
 	}
 	if b.haveInc && bound >= b.incumbentObj-incTol {
-		return nil // dominated by an incumbent merged earlier
+		// Dominated by an incumbent merged earlier.
+		b.stats.PrunedBound++
+		if b.sink != nil {
+			b.emit(b.nodeEvent(it, r, obs.OutcomeBound, bound))
+		}
+		return nil
 	}
 	if f := b.fracVar(r.x); f >= 0 {
+		b.stats.Branched++
+		if b.sink != nil {
+			e := b.nodeEvent(it, r, obs.OutcomeBranched, bound)
+			e.BranchVar = f
+			frac := r.x[f] - math.Floor(r.x[f])
+			e.Frac = math.Min(frac, 1-frac)
+			b.emit(e)
+		}
 		b.deque = append(b.deque, b.makeChildren(it, r, f)...)
 		return nil
+	}
+	b.stats.IntegralLeaves++
+	if b.sink != nil {
+		b.emit(b.nodeEvent(it, r, obs.OutcomeIntegral, bound))
 	}
 	x, obj := b.canonical(r.x)
 	if !b.haveInc || solutionLess(obj, x, b.incumbentObj, b.incumbent) {
 		b.haveInc = true
 		b.incumbentObj = obj
 		b.incumbent = x
+		b.stats.Incumbents++
+		if b.sink != nil {
+			b.emit(obs.Event{Kind: obs.KindIncumbent, Node: it.id, Parent: it.parent,
+				Depth: it.depth, Incumbent: obj, BranchVar: -1, Gap: -1})
+		}
 	}
 	return nil
+}
+
+// nodeEvent builds the common fields of a KindNode event. BranchVar is
+// -1 (overridden by the branched outcome).
+func (b *bnb) nodeEvent(it *workItem, r *nodeResult, outcome string, bound float64) obs.Event {
+	return obs.Event{Kind: obs.KindNode, Node: it.id, Parent: it.parent, Depth: it.depth,
+		Outcome: outcome, Bound: bound, BranchVar: -1,
+		Iters: r.iters, Refactors: r.refactors, Gap: -1}
 }
 
 // makeChildren branches the just-solved node on variable j, returning
@@ -523,7 +762,8 @@ func (b *bnb) makeChildren(it *workItem, r *nodeResult, j int) []*workItem {
 		lo := append([]float64(nil), it.lo...)
 		hi := append([]float64(nil), it.hi...)
 		lo[j], hi[j] = lo0, hi0
-		return &workItem{lo: lo, hi: hi, state: r.state, bound: bound, raw: r.raw}
+		return &workItem{lo: lo, hi: hi, state: r.state, bound: bound, raw: r.raw,
+			parent: it.id, depth: it.depth + 1}
 	}
 	down := mk(it.lo[j], floor)
 	up := mk(floor+1, it.hi[j])
@@ -596,12 +836,20 @@ func (b *bnb) fracVar(x []float64) int {
 }
 
 // finish assembles the final solution from a canonical (integer-rounded)
-// incumbent vector.
+// incumbent vector, recording the stop reason and the final proof state
+// (BestBound/Gap) in the stats.
 func (b *bnb) finish(x []float64, obj float64, proven bool) (Solution, error) {
 	vals := append([]float64(nil), x...)
 	status := Feasible
 	if proven {
 		status = Optimal
+	}
+	b.stats.StopReason = b.stopReason()
+	b.stats.BestBound, b.stats.Gap = b.bestBoundAndGap(obj, proven)
+	if b.sink != nil {
+		b.emit(obs.Event{Kind: obs.KindDone, Node: b.stats.Nodes, Outcome: status.String(),
+			Reason: b.stats.StopReason.String(), Iters: b.stats.SimplexIters, BranchVar: -1,
+			Incumbent: obj, BestBound: b.stats.BestBound, Gap: b.stats.Gap})
 	}
 	return Solution{Status: status, Objective: obj, Values: vals, Stats: b.stats}, nil
 }

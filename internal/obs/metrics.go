@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a process-wide registry of solver counters. Unlike event
+// sinks it is always on: internal/ilp records one SolveSample per solve
+// (a handful of atomic adds, nowhere near any hot path), so long-lived
+// processes can expose cumulative solver effort without enabling
+// tracing. Default is the registry the solver records into and the
+// -metrics / -pprof endpoints expose.
+type Metrics struct {
+	solves          atomic.Int64
+	solvesOptimal   atomic.Int64
+	solvesFeasible  atomic.Int64
+	solvesInfeas    atomic.Int64
+	solvesLimit     atomic.Int64
+	solvesUnbounded atomic.Int64
+	nodes           atomic.Int64
+	simplexIters    atomic.Int64
+	luRefactors     atomic.Int64
+	presolveFixes   atomic.Int64
+	incumbents      atomic.Int64
+	branched        atomic.Int64
+	prunedBound     atomic.Int64
+	prunedInfeas    atomic.Int64
+	integralLeaves  atomic.Int64
+	lostSubtrees    atomic.Int64
+	prunedStale     atomic.Int64
+	wallMicros      atomic.Int64
+}
+
+// Default is the process-wide registry.
+var Default = &Metrics{}
+
+// SolveSample is the per-solve bulk update recorded into a Metrics.
+type SolveSample struct {
+	Status         string // "optimal", "feasible", "infeasible", "limit", "unbounded"
+	Wall           time.Duration
+	Nodes          int
+	SimplexIters   int
+	LURefactors    int
+	PresolveFixes  int
+	Incumbents     int
+	Branched       int
+	PrunedBound    int
+	PrunedInfeas   int
+	IntegralLeaves int
+	LostSubtrees   int
+	PrunedStale    int
+}
+
+// RecordSolve folds one finished solve into the counters.
+func (m *Metrics) RecordSolve(s SolveSample) {
+	m.solves.Add(1)
+	switch s.Status {
+	case "optimal":
+		m.solvesOptimal.Add(1)
+	case "feasible":
+		m.solvesFeasible.Add(1)
+	case "infeasible":
+		m.solvesInfeas.Add(1)
+	case "limit":
+		m.solvesLimit.Add(1)
+	case "unbounded":
+		m.solvesUnbounded.Add(1)
+	}
+	m.wallMicros.Add(s.Wall.Microseconds())
+	m.nodes.Add(int64(s.Nodes))
+	m.simplexIters.Add(int64(s.SimplexIters))
+	m.luRefactors.Add(int64(s.LURefactors))
+	m.presolveFixes.Add(int64(s.PresolveFixes))
+	m.incumbents.Add(int64(s.Incumbents))
+	m.branched.Add(int64(s.Branched))
+	m.prunedBound.Add(int64(s.PrunedBound))
+	m.prunedInfeas.Add(int64(s.PrunedInfeas))
+	m.integralLeaves.Add(int64(s.IntegralLeaves))
+	m.lostSubtrees.Add(int64(s.LostSubtrees))
+	m.prunedStale.Add(int64(s.PrunedStale))
+}
+
+// MetricsSnapshot is a point-in-time JSON-encodable copy of a Metrics.
+type MetricsSnapshot struct {
+	Solves           int64   `json:"solves"`
+	SolvesOptimal    int64   `json:"solves_optimal"`
+	SolvesFeasible   int64   `json:"solves_feasible"`
+	SolvesInfeasible int64   `json:"solves_infeasible"`
+	SolvesLimit      int64   `json:"solves_limit"`
+	SolvesUnbounded  int64   `json:"solves_unbounded"`
+	SolveWallSec     float64 `json:"solve_wall_sec"`
+	Nodes            int64   `json:"nodes"`
+	SimplexIters     int64   `json:"simplex_iters"`
+	LURefactors      int64   `json:"lu_refactors"`
+	PresolveFixes    int64   `json:"presolve_fixes"`
+	Incumbents       int64   `json:"incumbents"`
+	Branched         int64   `json:"branched"`
+	PrunedBound      int64   `json:"pruned_bound"`
+	PrunedInfeasible int64   `json:"pruned_infeasible"`
+	IntegralLeaves   int64   `json:"integral_leaves"`
+	LostSubtrees     int64   `json:"lost_subtrees"`
+	PrunedStale      int64   `json:"pruned_stale"`
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Solves:           m.solves.Load(),
+		SolvesOptimal:    m.solvesOptimal.Load(),
+		SolvesFeasible:   m.solvesFeasible.Load(),
+		SolvesInfeasible: m.solvesInfeas.Load(),
+		SolvesLimit:      m.solvesLimit.Load(),
+		SolvesUnbounded:  m.solvesUnbounded.Load(),
+		SolveWallSec:     float64(m.wallMicros.Load()) / 1e6,
+		Nodes:            m.nodes.Load(),
+		SimplexIters:     m.simplexIters.Load(),
+		LURefactors:      m.luRefactors.Load(),
+		PresolveFixes:    m.presolveFixes.Load(),
+		Incumbents:       m.incumbents.Load(),
+		Branched:         m.branched.Load(),
+		PrunedBound:      m.prunedBound.Load(),
+		PrunedInfeasible: m.prunedInfeas.Load(),
+		IntegralLeaves:   m.integralLeaves.Load(),
+		LostSubtrees:     m.lostSubtrees.Load(),
+		PrunedStale:      m.prunedStale.Load(),
+	}
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4), suitable for a /metrics endpoint or a
+// one-shot dump at process exit.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	type metric struct {
+		name, help string
+		labels     string
+		val        float64
+	}
+	// Declarations are grouped by metric family so TYPE/HELP headers
+	// are emitted once per family, as the format requires.
+	families := []struct {
+		name, help string
+		series     []metric
+	}{
+		{"rulefit_solves_total", "Completed ilp.Solve calls by final status.", []metric{
+			{labels: `{status="optimal"}`, val: float64(s.SolvesOptimal)},
+			{labels: `{status="feasible"}`, val: float64(s.SolvesFeasible)},
+			{labels: `{status="infeasible"}`, val: float64(s.SolvesInfeasible)},
+			{labels: `{status="limit"}`, val: float64(s.SolvesLimit)},
+			{labels: `{status="unbounded"}`, val: float64(s.SolvesUnbounded)},
+		}},
+		{"rulefit_solve_wall_seconds_total", "Wall-clock seconds spent inside ilp.Solve.", []metric{
+			{val: s.SolveWallSec},
+		}},
+		{"rulefit_bnb_nodes_total", "Branch & bound nodes expanded.", []metric{
+			{val: float64(s.Nodes)},
+		}},
+		{"rulefit_simplex_iters_total", "Simplex iterations across all node LPs.", []metric{
+			{val: float64(s.SimplexIters)},
+		}},
+		{"rulefit_lu_refactorizations_total", "Basis LU refactorizations.", []metric{
+			{val: float64(s.LURefactors)},
+		}},
+		{"rulefit_presolve_fixes_total", "Presolve bound tightenings.", []metric{
+			{val: float64(s.PresolveFixes)},
+		}},
+		{"rulefit_incumbents_total", "Incumbent improvements found.", []metric{
+			{val: float64(s.Incumbents)},
+		}},
+		{"rulefit_node_outcomes_total", "Expanded-node outcomes by reason.", []metric{
+			{labels: `{outcome="branched"}`, val: float64(s.Branched)},
+			{labels: `{outcome="pruned_bound"}`, val: float64(s.PrunedBound)},
+			{labels: `{outcome="pruned_infeasible"}`, val: float64(s.PrunedInfeasible)},
+			{labels: `{outcome="integral"}`, val: float64(s.IntegralLeaves)},
+			{labels: `{outcome="lost"}`, val: float64(s.LostSubtrees)},
+		}},
+		{"rulefit_stale_skips_total", "Deque items discarded as bound-dominated before expansion.", []metric{
+			{val: float64(s.PrunedStale)},
+		}},
+	}
+	for _, f := range families {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name); err != nil {
+			return err
+		}
+		for _, series := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", f.name, series.labels, series.val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

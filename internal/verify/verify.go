@@ -12,6 +12,7 @@ import (
 
 	"rulefit/internal/dataplane"
 	"rulefit/internal/match"
+	"rulefit/internal/obs"
 	"rulefit/internal/policy"
 	"rulefit/internal/routing"
 	"rulefit/internal/topology"
@@ -43,6 +44,9 @@ type Config struct {
 	Seed int64
 	// MaxViolations stops the search early (default 10).
 	MaxViolations int
+	// Span, when non-nil, receives header-check and violation counters
+	// (timing only; the verdicts are identical with or without it).
+	Span *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +70,11 @@ func Semantics(net *dataplane.Network, rt *routing.Routing, policies []*policy.P
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	var out []Violation
+	checks := int64(0)
+	defer func() {
+		cfg.Span.SetCount("checks", checks)
+		cfg.Span.SetCount("violations", int64(len(out)))
+	}()
 
 	for _, pol := range policies {
 		ps, ok := rt.Sets[topology.PortID(pol.Ingress)]
@@ -78,6 +87,7 @@ func Semantics(net *dataplane.Network, rt *routing.Routing, policies []*policy.P
 				if path.HasTraffic && !headerInTernary(h, path.Traffic) {
 					continue // packet would not take this path
 				}
+				checks++
 				if v := checkOne(net, pol, path, h); v != nil {
 					out = append(out, *v)
 					if len(out) >= cfg.MaxViolations {
@@ -89,6 +99,7 @@ func Semantics(net *dataplane.Network, rt *routing.Routing, policies []*policy.P
 			if path.HasTraffic {
 				for i := 0; i < cfg.RandomSamples; i++ {
 					h := match.SampleWords(path.Traffic, rng)
+					checks++
 					if v := checkOne(net, pol, path, h); v != nil {
 						out = append(out, *v)
 						if len(out) >= cfg.MaxViolations {

@@ -42,6 +42,12 @@ go test ./... || fail=1
 step "go test -tags rulefitdebug (runtime invariants)"
 go test -tags rulefitdebug ./internal/ilp/ ./internal/core/ ./internal/invariant/ || fail=1
 
+step "observability: traced -race smoke"
+go test -race -run 'Trace|Determin' ./internal/ilp/ ./internal/core/ ./internal/obs/... || fail=1
+
+step "observability: disabled-sink overhead gate"
+go test -run TestDisabledSinkOverheadSmoke ./internal/ilp/ || fail=1
+
 if [ "$mode" != "quick" ]; then
     step "go test -race"
     go test -race ./... || fail=1
