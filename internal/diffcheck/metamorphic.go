@@ -1,0 +1,202 @@
+package diffcheck
+
+import (
+	"math/rand"
+
+	"rulefit/internal/core"
+	"rulefit/internal/policy"
+	"rulefit/internal/randgen"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+// The metamorphic battery: properties relating the optimum of a
+// transformed instance to the optimum of the original. These catch bug
+// classes that agreement between oracles cannot (all three backends
+// share the encoding, so an encoding bug is invisible to them).
+//
+//  1. Capacity raise — increasing every C_k can only relax Eq. 3, so the
+//     optimal objective never increases and feasibility is preserved.
+//  2. Switch/rule relabeling — renaming switch IDs, rescaling rule
+//     priorities order-preservingly, and reordering the policy list is an
+//     isomorphism: status and optimal objective are unchanged.
+//  3. Shadowed rule — appending a lowest-priority rule whose match is
+//     subsumed by an existing higher-priority rule never changes the
+//     optimum when redundancy removal runs on both sides.
+//  4. Merging — enabling rule merging can only remove solutions' cost,
+//     never add: obj(merged) <= obj(unmerged) and feasibility of the
+//     unmerged instance implies feasibility of the merged one.
+func checkMetamorphic(inst *randgen.Instance, ilpOpts core.Options, res *Result) {
+	base := res.ILP
+	prob := inst.Problem
+
+	// 1. Raising every capacity never increases the optimum.
+	raised := cloneProblem(prob)
+	for _, sw := range raised.Network.Switches() {
+		//lint:errcheck sw.ID comes from this network, so unknown-switch cannot happen
+		_ = raised.Network.SetSwitchCapacity(sw.ID, sw.Capacity+2)
+	}
+	if pl, err := core.Place(raised, ilpOpts); err != nil {
+		res.addf(KindMetaCapRaise, "solve: %v", err)
+	} else if !proven(pl) {
+		res.addf(KindMetaCapRaise, "unproven status %v", pl.Status)
+	} else if base.Status == core.StatusOptimal {
+		if pl.Status != core.StatusOptimal {
+			res.addf(KindMetaCapRaise, "raising capacities turned optimal into %v", pl.Status)
+		} else if pl.Objective > base.Objective+0.5 {
+			res.addf(KindMetaCapRaise, "objective rose from %g to %g", base.Objective, pl.Objective)
+		}
+	}
+
+	// 2. Relabeling isomorphism. Per-switch cost maps and monitor sets
+	// are keyed by switch ID, so the property only holds without them.
+	if ilpOpts.SwitchCost == nil && len(ilpOpts.Monitors) == 0 {
+		permProb, err := permuteProblem(prob, inst.Config.Seed)
+		if err != nil {
+			res.addf(KindMetaPermute, "transform: %v", err)
+		} else if pl, err := core.Place(permProb, ilpOpts); err != nil {
+			res.addf(KindMetaPermute, "solve: %v", err)
+		} else if !proven(pl) {
+			res.addf(KindMetaPermute, "unproven status %v", pl.Status)
+		} else if pl.Status != base.Status {
+			res.addf(KindMetaPermute, "status %v != base %v", pl.Status, base.Status)
+		} else if base.Status == core.StatusOptimal {
+			if d := pl.Objective - base.Objective; d > 0.5 || d < -0.5 {
+				res.addf(KindMetaPermute, "objective %g != base %g", pl.Objective, base.Objective)
+			}
+			if pl.TotalRules != base.TotalRules && ilpOpts.Objective == core.ObjTotalRules {
+				res.addf(KindMetaPermute, "total rules %d != base %d", pl.TotalRules, base.TotalRules)
+			}
+		}
+	}
+
+	// 3. A fully-shadowed rule is a no-op under redundancy removal.
+	if len(prob.Policies) > 0 && len(prob.Policies[0].Rules) > 0 {
+		shOpts := ilpOpts
+		shOpts.RemoveRedundant = true
+		shBase, err1 := core.Place(prob, shOpts)
+		aug, err2 := shadowProblem(prob)
+		if err1 != nil || err2 != nil {
+			res.addf(KindMetaShadow, "setup: %v / %v", err1, err2)
+		} else if pl, err := core.Place(aug, shOpts); err != nil {
+			res.addf(KindMetaShadow, "solve: %v", err)
+		} else if proven(shBase) && proven(pl) {
+			if pl.Status != shBase.Status {
+				res.addf(KindMetaShadow, "status %v != base %v", pl.Status, shBase.Status)
+			} else if pl.Status == core.StatusOptimal {
+				if d := pl.Objective - shBase.Objective; d > 0.5 || d < -0.5 {
+					res.addf(KindMetaShadow, "objective %g != base %g", pl.Objective, shBase.Objective)
+				}
+			}
+		}
+	}
+
+	// 4. Merging never increases the total-rules optimum.
+	if ilpOpts.Objective == core.ObjTotalRules || ilpOpts.Objective == 0 {
+		mOpts := ilpOpts
+		mOpts.Merging = true
+		nOpts := ilpOpts
+		nOpts.Merging = false
+		mPl, errM := core.Place(prob, mOpts)
+		nPl, errN := core.Place(prob, nOpts)
+		if errM != nil || errN != nil {
+			res.addf(KindMetaMerge, "solve: %v / %v", errM, errN)
+		} else if proven(mPl) && proven(nPl) {
+			if nPl.Status == core.StatusOptimal && mPl.Status == core.StatusInfeasible {
+				res.addf(KindMetaMerge, "merging turned a feasible instance infeasible")
+			} else if mPl.Status == core.StatusOptimal && nPl.Status == core.StatusOptimal &&
+				mPl.Objective > nPl.Objective+0.5 {
+				res.addf(KindMetaMerge, "merged objective %g > unmerged %g", mPl.Objective, nPl.Objective)
+			}
+		}
+	}
+}
+
+// cloneProblem deep-copies a problem so transforms cannot alias state.
+func cloneProblem(p *core.Problem) *core.Problem {
+	rt := routing.NewRouting()
+	for _, ing := range p.Routing.Ingresses() {
+		for _, path := range p.Routing.Sets[ing].Paths {
+			cp := path
+			cp.Switches = append([]topology.SwitchID(nil), path.Switches...)
+			rt.Add(cp)
+		}
+	}
+	pols := make([]*policy.Policy, len(p.Policies))
+	for i, pol := range p.Policies {
+		pols[i] = pol.Clone()
+	}
+	return &core.Problem{Network: p.Network.Clone(), Routing: rt, Policies: pols}
+}
+
+// permuteProblem renames every switch ID through a seeded permutation
+// (offset so no ID maps to itself by accident), rescales rule priorities
+// with the order-preserving map t -> 3t+1, and reverses the policy list.
+func permuteProblem(p *core.Problem, seed int64) (*core.Problem, error) {
+	rng := rand.New(rand.NewSource(seed*7919 + 3))
+	sws := p.Network.Switches()
+	order := rng.Perm(len(sws))
+	perm := make(map[topology.SwitchID]topology.SwitchID, len(sws))
+	for i, sw := range sws {
+		perm[sw.ID] = topology.SwitchID(1000 + order[i])
+	}
+	net := topology.NewNetwork()
+	for _, sw := range sws {
+		if err := net.AddSwitch(topology.Switch{ID: perm[sw.ID], Capacity: sw.Capacity, Name: sw.Name}); err != nil {
+			return nil, err
+		}
+	}
+	for _, sw := range sws {
+		for _, nb := range p.Network.Neighbors(sw.ID) {
+			if nb > sw.ID {
+				if err := net.AddLink(perm[sw.ID], perm[nb]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, pt := range p.Network.Ports() {
+		pt.Switch = perm[pt.Switch]
+		if err := net.AddPort(pt); err != nil {
+			return nil, err
+		}
+	}
+	rt := routing.NewRouting()
+	for _, ing := range p.Routing.Ingresses() {
+		for _, path := range p.Routing.Sets[ing].Paths {
+			np := routing.Path{Ingress: path.Ingress, Egress: path.Egress, Traffic: path.Traffic, HasTraffic: path.HasTraffic}
+			for _, s := range path.Switches {
+				np.Switches = append(np.Switches, perm[s])
+			}
+			rt.Add(np)
+		}
+	}
+	pols := make([]*policy.Policy, 0, len(p.Policies))
+	for i := len(p.Policies) - 1; i >= 0; i-- {
+		cp := p.Policies[i].Clone()
+		for j := range cp.Rules {
+			cp.Rules[j].Priority = cp.Rules[j].Priority*3 + 1
+		}
+		pols = append(pols, cp)
+	}
+	out := &core.Problem{Network: net, Routing: rt, Policies: pols}
+	return out, out.Validate()
+}
+
+// shadowProblem appends to the first policy a lowest-priority rule whose
+// match duplicates the policy's top rule (hence fully shadowed), with
+// the opposite action so a redundancy-removal bug that respects actions
+// incorrectly would change semantics and be caught.
+func shadowProblem(p *core.Problem) (*core.Problem, error) {
+	out := cloneProblem(p)
+	pol := out.Policies[0]
+	shadow := pol.Rules[0]
+	shadow.Priority = pol.Rules[len(pol.Rules)-1].Priority - 1
+	if shadow.Action == policy.Permit {
+		shadow.Action = policy.Drop
+	} else {
+		shadow.Action = policy.Permit
+	}
+	pol.Rules = append(pol.Rules, shadow)
+	return out, pol.Validate()
+}

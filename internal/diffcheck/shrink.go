@@ -1,0 +1,163 @@
+package diffcheck
+
+import (
+	"rulefit/internal/core"
+	"rulefit/internal/policy"
+	"rulefit/internal/randgen"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+// Shrink greedily minimizes a failing instance while the failure
+// persists: it tries deleting whole policies, individual rules,
+// individual paths, and finally strips switches no remaining path
+// touches. Each candidate deletion is kept only if Check still fails
+// (any failure kind — a shrink that morphs one bug into another still
+// yields a useful reproducer). maxRounds bounds the number of full
+// sweeps (<= 0 means 8); each kept deletion restarts the sweep, so the
+// result is 1-minimal with respect to these deletions when the loop
+// runs to quiescence.
+func Shrink(inst *randgen.Instance, opts Options, maxRounds int) *randgen.Instance {
+	return shrinkWith(inst, func(cand *randgen.Instance) bool {
+		return Check(cand, opts).Failed()
+	}, maxRounds)
+}
+
+// shrinkWith is the predicate-generic shrinker behind Shrink: candidates
+// failing Validate are never accepted, everything else is judged by the
+// caller's predicate.
+func shrinkWith(inst *randgen.Instance, pred func(*randgen.Instance) bool, maxRounds int) *randgen.Instance {
+	if maxRounds <= 0 {
+		maxRounds = 8
+	}
+	failing := func(p *core.Problem) bool {
+		if p.Validate() != nil {
+			return false
+		}
+		return pred(&randgen.Instance{Config: inst.Config, Problem: p})
+	}
+	cur := inst.Problem
+	if !failing(cur) {
+		return inst // not reproducible; return unshrunk
+	}
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		// Drop whole policies.
+		for i := 0; i < len(cur.Policies); i++ {
+			cand := cloneProblem(cur)
+			cand.Policies = append(cand.Policies[:i], cand.Policies[i+1:]...)
+			if failing(cand) {
+				cur, changed = cand, true
+				i--
+			}
+		}
+		// Drop individual rules (keep at least one per policy).
+		for pi := 0; pi < len(cur.Policies); pi++ {
+			for ri := 0; ri < len(cur.Policies[pi].Rules); ri++ {
+				if len(cur.Policies[pi].Rules) <= 1 {
+					break
+				}
+				cand := cloneProblem(cur)
+				pol := cand.Policies[pi]
+				pol.Rules = append(pol.Rules[:ri], pol.Rules[ri+1:]...)
+				if failing(cand) {
+					cur, changed = cand, true
+					ri--
+				}
+			}
+		}
+		// Drop individual paths.
+		for _, ing := range cur.Routing.Ingresses() {
+			for pi := 0; pi < len(cur.Routing.Sets[ing].Paths); pi++ {
+				cand := cloneProblem(cur)
+				ps := cand.Routing.Sets[ing]
+				if len(ps.Paths) <= 1 {
+					break
+				}
+				ps.Paths = append(ps.Paths[:pi], ps.Paths[pi+1:]...)
+				if failing(cand) {
+					cur, changed = cand, true
+					pi--
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if cand := stripUnused(cur); cand != cur && failing(cand) {
+		cur = cand
+	}
+	return &randgen.Instance{Config: inst.Config, Problem: cur}
+}
+
+// stripUnused removes switches no remaining path traverses (and their
+// links), plus ports that neither terminate a path nor host a policy.
+// Returns the input unchanged if nothing is strippable.
+func stripUnused(p *core.Problem) *core.Problem {
+	usedSw := make(map[topology.SwitchID]bool)
+	usedPort := make(map[topology.PortID]bool)
+	for _, ing := range p.Routing.Ingresses() {
+		usedPort[ing] = true
+		for _, path := range p.Routing.Sets[ing].Paths {
+			usedPort[path.Egress] = true
+			for _, s := range path.Switches {
+				usedSw[s] = true
+			}
+		}
+	}
+	for _, pol := range p.Policies {
+		usedPort[topology.PortID(pol.Ingress)] = true
+	}
+	strippable := false
+	for _, sw := range p.Network.Switches() {
+		if !usedSw[sw.ID] {
+			strippable = true
+		}
+	}
+	for _, pt := range p.Network.Ports() {
+		if !usedPort[pt.ID] {
+			strippable = true
+		}
+	}
+	if !strippable {
+		return p
+	}
+	net := topology.NewNetwork()
+	for _, sw := range p.Network.Switches() {
+		if usedSw[sw.ID] {
+			//lint:errcheck switches are copied from a valid network, so duplicates cannot happen
+			_ = net.AddSwitch(sw)
+		}
+	}
+	for _, sw := range p.Network.Switches() {
+		if !usedSw[sw.ID] {
+			continue
+		}
+		for _, nb := range p.Network.Neighbors(sw.ID) {
+			if nb > sw.ID && usedSw[nb] {
+				//lint:errcheck both endpoints were just added, so AddLink cannot fail
+				_ = net.AddLink(sw.ID, nb)
+			}
+		}
+	}
+	for _, pt := range p.Network.Ports() {
+		if usedPort[pt.ID] && usedSw[pt.Switch] {
+			//lint:errcheck ports are copied from a valid network onto switches kept above
+			_ = net.AddPort(pt)
+		}
+	}
+	rt := routing.NewRouting()
+	for _, ing := range p.Routing.Ingresses() {
+		for _, path := range p.Routing.Sets[ing].Paths {
+			cp := path
+			cp.Switches = append([]topology.SwitchID(nil), path.Switches...)
+			rt.Add(cp)
+		}
+	}
+	pols := make([]*policy.Policy, len(p.Policies))
+	for i, pol := range p.Policies {
+		pols[i] = pol.Clone()
+	}
+	return &core.Problem{Network: net, Routing: rt, Policies: pols}
+}

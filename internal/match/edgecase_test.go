@@ -1,0 +1,266 @@
+package match
+
+import (
+	"strings"
+	"testing"
+)
+
+// Deterministic edge-case battery for the ternary set algebra. The fuzz
+// target (FuzzTernaryOverlap) explores this space probabilistically;
+// these tests pin the corners we know are dangerous — word boundaries
+// in the two-bitmap encoding, zero-care masks, zero-width values, and
+// adjacent-but-disjoint ranges — so a regression fails by name.
+
+// TestZeroWidthTernary: the empty ternary is a valid value that matches
+// the empty header and relates to itself in the usual reflexive ways.
+func TestZeroWidthTernary(t *testing.T) {
+	z := MustParseTernary("")
+	if z.Width() != 0 {
+		t.Fatalf("Width() = %d, want 0", z.Width())
+	}
+	if !z.Overlaps(z) || !z.Subsumes(z) {
+		t.Fatal("zero-width ternary must overlap and subsume itself")
+	}
+	if inter, ok := z.Intersect(z); !ok || !inter.Equal(z) {
+		t.Fatal("zero-width self-intersection must be identity")
+	}
+	if rem := z.Subtract(z); len(rem) != 0 {
+		t.Fatalf("zero-width self-subtraction left %d pieces", len(rem))
+	}
+	if !z.MatchesWords(nil) {
+		t.Fatal("zero-width ternary must match the empty header")
+	}
+	if !z.IsFullWildcard() {
+		t.Fatal("zero-width ternary is vacuously a full wildcard")
+	}
+	if z.String() != "" {
+		t.Fatalf("String() = %q, want empty", z.String())
+	}
+}
+
+// TestZeroCareMask: a mask with zero care bits (all wildcards) behaves
+// as the universe at its width: it overlaps and subsumes everything of
+// that width, and subtracting it leaves nothing.
+func TestZeroCareMask(t *testing.T) {
+	for _, w := range []int{1, 63, 64, 65, 104, 128} {
+		univ := NewTernary(w)
+		if !univ.IsFullWildcard() {
+			t.Fatalf("w=%d: NewTernary is not a full wildcard", w)
+		}
+		if univ.ExactBits() != 0 {
+			t.Fatalf("w=%d: ExactBits = %d, want 0", w, univ.ExactBits())
+		}
+		// An arbitrary exact value of the same width.
+		val := univ
+		for i := 0; i < w; i++ {
+			val = val.SetBit(i, i%3 == 0)
+		}
+		if !univ.Subsumes(val) || !univ.Overlaps(val) {
+			t.Fatalf("w=%d: universe does not subsume/overlap an exact value", w)
+		}
+		if val.Subsumes(univ) && w > 0 {
+			t.Fatalf("w=%d: exact value claims to subsume the universe", w)
+		}
+		if rem := val.Subtract(univ); len(rem) != 0 {
+			t.Fatalf("w=%d: subtracting the universe left %d pieces", w, len(rem))
+		}
+		if inter, ok := univ.Intersect(val); !ok || !inter.Equal(val) {
+			t.Fatalf("w=%d: universe ∩ value != value", w)
+		}
+	}
+}
+
+// TestWordBoundaryBits exercises bits 63, 64, and 65 — the seam between
+// the first and second uint64 words of the care/value bitmaps, where an
+// off-by-one in word indexing or masking of the partial top word would
+// conflate neighbouring bits.
+func TestWordBoundaryBits(t *testing.T) {
+	for _, w := range []int{64, 65, 66, 128, 129} {
+		for bit := 62; bit <= 66 && bit < w; bit++ {
+			a := NewTernary(w).SetBit(bit, true)
+			b := NewTernary(w).SetBit(bit, false)
+			if a.Overlaps(b) {
+				t.Errorf("w=%d bit=%d: 1 vs 0 at the same bit overlap", w, bit)
+			}
+			if _, ok := a.Intersect(b); ok {
+				t.Errorf("w=%d bit=%d: disjoint ternaries intersect", w, bit)
+			}
+			// Differing bits: still overlap (both wildcard elsewhere).
+			if bit+1 < w {
+				c := NewTernary(w).SetBit(bit+1, true)
+				if !a.Overlaps(c) {
+					t.Errorf("w=%d: exact bits at %d and %d must overlap", w, bit, bit+1)
+				}
+			}
+			// Bit readback across the seam.
+			if care, one := a.Bit(bit); !care || !one {
+				t.Errorf("w=%d bit=%d: Bit() = (%v,%v), want (true,true)", w, bit, care, one)
+			}
+			// Clearing back to wildcard restores the universe.
+			if !a.SetWildcard(bit).IsFullWildcard() {
+				t.Errorf("w=%d bit=%d: SetWildcard did not restore full wildcard", w, bit)
+			}
+			// Subtracting the 0-branch from the universe leaves exactly
+			// the 1-branch at that bit.
+			rem := NewTernary(w).Subtract(b)
+			if len(rem) != 1 || !rem[0].Equal(a) {
+				t.Errorf("w=%d bit=%d: universe minus 0-branch = %v, want the 1-branch", w, bit, rem)
+			}
+		}
+	}
+}
+
+// TestPartialTopWordIsMasked: a ternary whose width is not a multiple
+// of 64 must ignore junk beyond the top bit — two ternaries equal on
+// the declared bits are Equal and share a Key regardless of how they
+// were built.
+func TestPartialTopWordIsMasked(t *testing.T) {
+	const w = 65
+	a := NewTernary(w).SetBit(64, true)
+	b := MustParseTernary("1" + strings.Repeat("*", 64)) // String is MSB-first: bit 64 is first
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatalf("equal 65-bit ternaries differ: %q vs %q", a.String(), b.String())
+	}
+	if got := a.String(); len(got) != w {
+		t.Fatalf("String length %d, want %d", len(got), w)
+	}
+}
+
+// TestAdjacentDisjointRanges: values and prefixes that touch but do not
+// overlap. 2^63-1 and 2^63 differ in every bit of a 64-bit field; the
+// two halves 0* and 1* partition the space. Neither pair may overlap,
+// and their union must cover the universe exactly.
+func TestAdjacentDisjointRanges(t *testing.T) {
+	const w = 64
+	lo := NewTernary(w).SetField(0, w, 1<<63-1)
+	hi := NewTernary(w).SetField(0, w, 1<<63)
+	if lo.Overlaps(hi) || hi.Overlaps(lo) {
+		t.Fatal("adjacent exact values overlap")
+	}
+	if lo.Subsumes(hi) || hi.Subsumes(lo) {
+		t.Fatal("adjacent exact values subsume each other")
+	}
+
+	half0 := NewTernary(4).SetBit(3, false) // 0***
+	half1 := NewTernary(4).SetBit(3, true)  // 1***
+	if half0.Overlaps(half1) {
+		t.Fatal("prefix halves 0*** and 1*** overlap")
+	}
+	// Their union is the universe: universe minus one half is the other.
+	rem := NewTernary(4).Subtract(half0)
+	if len(rem) != 1 || !rem[0].Equal(half1) {
+		t.Fatalf("universe minus 0*** = %v, want [1***]", rem)
+	}
+}
+
+// TestSetFieldBoundaries: SetField across the word seam and at the full
+// width writes exactly the named bits, readable via MatchesWords.
+func TestSetFieldBoundaries(t *testing.T) {
+	// 8-bit field straddling bits 60..67 of a 128-bit header.
+	v := NewTernary(128).SetField(60, 8, 0xA5)
+	// 0xA5 at bit 60: low nibble 0x5 in word 0, high nibble 0xA in word 1.
+	hdr := []uint64{uint64(0x5) << 60, 0xA}
+	if !v.MatchesWords(hdr) {
+		t.Fatal("field straddling the word seam does not match its own value")
+	}
+	if v.ExactBits() != 8 {
+		t.Fatalf("ExactBits = %d, want 8", v.ExactBits())
+	}
+	wrong := []uint64{uint64(0x4) << 60, 0xA}
+	if v.MatchesWords(wrong) {
+		t.Fatal("matched a header with a flipped bit inside the field")
+	}
+
+	// Full-width field: all 64 bits exact.
+	full := NewTernary(64).SetField(0, 64, 0xDEADBEEFCAFE)
+	if full.ExactBits() != 64 {
+		t.Fatalf("ExactBits = %d, want 64", full.ExactBits())
+	}
+	if !full.MatchesWords([]uint64{0xDEADBEEFCAFE}) {
+		t.Fatal("full-width field does not match its value")
+	}
+}
+
+// TestSetPrefixDegenerate: plen 0 leaves the field fully wildcarded;
+// plen n pins every bit. Between the two, only the top plen bits care.
+func TestSetPrefixDegenerate(t *testing.T) {
+	base := NewTernary(32)
+	if got := base.SetPrefix(0, 32, 0xC0A80000, 0); !got.IsFullWildcard() {
+		t.Fatal("plen 0 must leave the field a full wildcard")
+	}
+	exact := base.SetPrefix(0, 32, 0xC0A80001, 32)
+	if exact.ExactBits() != 32 {
+		t.Fatalf("plen 32: ExactBits = %d, want 32", exact.ExactBits())
+	}
+	if !exact.MatchesWords([]uint64{0xC0A80001}) {
+		t.Fatal("plen 32 prefix does not match its own address")
+	}
+	p24 := base.SetPrefix(0, 32, 0xC0A80100, 24)
+	if p24.ExactBits() != 24 {
+		t.Fatalf("plen 24: ExactBits = %d, want 24", p24.ExactBits())
+	}
+	if !p24.MatchesWords([]uint64{0xC0A80142}) {
+		t.Fatal("/24 prefix rejects an address inside it")
+	}
+	if p24.MatchesWords([]uint64{0xC0A80242}) {
+		t.Fatal("/24 prefix accepts an address outside it")
+	}
+	if !p24.Subsumes(base.SetPrefix(0, 32, 0xC0A80142, 32)) {
+		t.Fatal("/24 must subsume a /32 inside it")
+	}
+}
+
+// TestSelfOverlapAfterMutation: a ternary derived by SetBit/SetWildcard
+// chains stays internally consistent — Clone-equality, self-overlap,
+// and value bits at wildcard positions normalized to zero (so Equal and
+// Key work word-by-word).
+func TestSelfOverlapAfterMutation(t *testing.T) {
+	v := NewTernary(70)
+	for i := 0; i < 70; i += 7 {
+		v = v.SetBit(i, true)
+	}
+	// Wildcard a previously-set bit: the stored value bit must reset.
+	v2 := v.SetWildcard(63)
+	want := NewTernary(70)
+	for i := 0; i < 70; i += 7 {
+		if i != 63 {
+			want = want.SetBit(i, true)
+		}
+	}
+	if !v2.Equal(want) || v2.Key() != want.Key() {
+		t.Fatal("SetWildcard left a stale value bit behind")
+	}
+	if !v2.Overlaps(v) || !v2.Subsumes(v) {
+		t.Fatal("widened ternary must overlap and subsume the original")
+	}
+	if !v.Clone().Equal(v) {
+		t.Fatal("Clone is not Equal to the original")
+	}
+}
+
+// TestFiveTupleWildcardCorners: fully-wildcard and fully-exact 5-tuples
+// land at the documented extremes of the 104-bit header layout.
+func TestFiveTupleWildcardCorners(t *testing.T) {
+	anyT := FiveTuple{ProtoAny: true}.Ternary()
+	if anyT.Width() != HeaderWidth || !anyT.IsFullWildcard() {
+		t.Fatalf("all-wildcard FiveTuple: width=%d wildcard=%v", anyT.Width(), anyT.IsFullWildcard())
+	}
+	// The zero FiveTuple is NOT fully wildcard: ProtoAny=false pins
+	// proto to 0 — an easy trap the encoder must not fall into.
+	if (FiveTuple{}).Ternary().IsFullWildcard() {
+		t.Fatal("zero FiveTuple should pin proto=0, not wildcard it")
+	}
+	exact := FiveTuple{
+		SrcIP: 0x0A000001, SrcPfxLen: 32,
+		DstIP: 0x0A000002, DstPfxLen: 32,
+		SrcPort: 1234, SrcExact: true,
+		DstPort: 80, DstExact: true,
+		Proto: 6,
+	}.Ternary()
+	if exact.ExactBits() != HeaderWidth {
+		t.Fatalf("fully-pinned FiveTuple: ExactBits=%d, want %d", exact.ExactBits(), HeaderWidth)
+	}
+	if !anyT.Subsumes(exact) || exact.Subsumes(anyT) {
+		t.Fatal("wildcard 5-tuple must strictly subsume the exact one")
+	}
+}

@@ -1,0 +1,460 @@
+// Package randgen generates random rule-placement instances for the
+// differential-testing harness (internal/diffcheck): seeded, byte-
+// deterministic combinations of a topology (fat-tree, random graph,
+// linear, ring), randomized shortest-path routing, and prioritized ACL
+// policies with controlled overlap density — either narrow-width
+// ternary policies (amenable to exhaustive header-space verification)
+// or the evaluation's 5-tuple ClassBench-style policies. Capacity
+// profiles range from tight (frequently infeasible) to slack (always
+// feasible), so both answers of the decision problem are exercised.
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rulefit/internal/core"
+	"rulefit/internal/match"
+	"rulefit/internal/policy"
+	"rulefit/internal/routing"
+	"rulefit/internal/topology"
+)
+
+// Topo selects the topology family.
+type Topo int
+
+// Topology families.
+const (
+	TopoLinear Topo = iota + 1
+	TopoRing
+	TopoRandom
+	TopoFatTree
+)
+
+// String renders the topology family name.
+func (t Topo) String() string {
+	switch t {
+	case TopoLinear:
+		return "linear"
+	case TopoRing:
+		return "ring"
+	case TopoRandom:
+		return "random"
+	case TopoFatTree:
+		return "fattree"
+	default:
+		return fmt.Sprintf("Topo(%d)", int(t))
+	}
+}
+
+// CapProfile selects how switch capacities relate to demand.
+type CapProfile int
+
+// Capacity profiles, from frequently-infeasible to always-feasible.
+const (
+	// CapTight draws capacities in [1, 3]; many instances are
+	// infeasible, exercising agreement on the "no" answer.
+	CapTight CapProfile = iota + 1
+	// CapMedium sizes capacities near the per-policy rule count, so
+	// placements are feasible but constrained.
+	CapMedium
+	// CapSlack gives every switch room for every rule.
+	CapSlack
+)
+
+// String renders the profile name.
+func (p CapProfile) String() string {
+	switch p {
+	case CapTight:
+		return "tight"
+	case CapMedium:
+		return "medium"
+	case CapSlack:
+		return "slack"
+	default:
+		return fmt.Sprintf("CapProfile(%d)", int(p))
+	}
+}
+
+// Config parameterizes instance generation. Generation is a pure
+// function of the config (including Seed).
+type Config struct {
+	Seed int64
+	Topo Topo
+	// Switches sizes linear/ring/random topologies; Degree the random
+	// graph's target degree; FatTreeK the fat-tree arity (even).
+	Switches int
+	Degree   int
+	FatTreeK int
+	// Ingresses and PathsPerIngress shape the routing (clamped to the
+	// topology's available ports).
+	Ingresses       int
+	PathsPerIngress int
+	// RulesPerPolicy is the ACL length per ingress.
+	RulesPerPolicy int
+	// Width is the header width in bits for narrow ternary policies;
+	// 0 generates 5-tuple (104-bit) policies via policy.Generate.
+	Width int
+	// OverlapDensity in [0, 1] is the probability that a rule's match is
+	// derived from an earlier rule's region (narrowed, widened, or a
+	// sibling) instead of drawn fresh — more overlap means more rule
+	// dependency edges.
+	OverlapDensity float64
+	// DropFraction is the fraction of DROP rules (every policy is
+	// nudged to contain at least one).
+	DropFraction float64
+	// SharedDrops prepends this many identical top-priority DROP rules
+	// to every policy, creating §IV-B merge groups.
+	SharedDrops int
+	// Capacity selects the capacity profile.
+	Capacity CapProfile
+	// TrafficSlices assigns a per-path traffic slice (§IV-C): the
+	// evaluation's destination prefixes for 5-tuple policies, or a
+	// top-bits egress slice for narrow widths.
+	TrafficSlices bool
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.Topo == 0 {
+		c.Topo = TopoLinear
+	}
+	if c.Switches == 0 {
+		c.Switches = 4
+	}
+	if c.Degree == 0 {
+		c.Degree = 3
+	}
+	if c.FatTreeK == 0 {
+		c.FatTreeK = 2
+	}
+	if c.Ingresses == 0 {
+		c.Ingresses = 1
+	}
+	if c.PathsPerIngress == 0 {
+		c.PathsPerIngress = 2
+	}
+	if c.RulesPerPolicy == 0 {
+		c.RulesPerPolicy = 5
+	}
+	//lint:exactfloat zero-value means "unset" on a user-assigned config field; it is never computed
+	if c.OverlapDensity == 0 {
+		c.OverlapDensity = 0.5
+	}
+	//lint:exactfloat zero-value means "unset" on a user-assigned config field; it is never computed
+	if c.DropFraction == 0 {
+		c.DropFraction = 0.4
+	}
+	if c.Capacity == 0 {
+		c.Capacity = CapSlack
+	}
+	return c
+}
+
+// Instance is one generated placement problem plus the config that
+// produced it (kept for shrinking and reporting).
+type Instance struct {
+	Config  Config
+	Problem *core.Problem
+}
+
+// Generate builds the instance for a config. The same config always
+// yields a deeply identical problem.
+func Generate(cfg Config) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + 17))
+
+	topo, err := buildTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := routing.SpreadPairs(topo, cfg.Ingresses, cfg.PathsPerIngress, cfg.Seed*31+5)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := routing.BuildRouting(topo, pairs, cfg.Seed*53+9)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TrafficSlices {
+		if cfg.Width == 0 {
+			routing.AssignTrafficSlices(rt)
+		} else {
+			assignNarrowSlices(rt, cfg.Width)
+		}
+	}
+
+	shared := sharedDrops(cfg, rng)
+	var pols []*policy.Policy
+	for _, in := range rt.Ingresses() {
+		var pol *policy.Policy
+		if cfg.Width == 0 {
+			pol = policy.Generate(int(in), policy.GenConfig{
+				NumRules:     cfg.RulesPerPolicy,
+				DropFraction: cfg.DropFraction,
+				DstPool:      dstPool(cfg, rt),
+				Seed:         cfg.Seed,
+			})
+		} else {
+			pol = narrowPolicy(int(in), cfg, rng)
+		}
+		if len(pol.DropRules()) == 0 && len(pol.Rules) > 0 {
+			// A policy without DROP rules contributes no placement
+			// variables; force one so every instance is non-trivial.
+			pol.Rules[len(pol.Rules)-1].Action = policy.Drop
+		}
+		if len(shared) > 0 {
+			pol = policy.WithBlacklist(pol, shared)
+		}
+		pols = append(pols, pol)
+	}
+
+	setCapacities(topo, cfg, rng)
+	prob := &core.Problem{Network: topo, Routing: rt, Policies: pols}
+	if err := prob.Validate(); err != nil {
+		return nil, fmt.Errorf("randgen: generated invalid problem: %w", err)
+	}
+	return &Instance{Config: cfg, Problem: prob}, nil
+}
+
+// buildTopology materializes the topology family with a placeholder
+// capacity (profiles are applied after generation).
+func buildTopology(cfg Config) (*topology.Network, error) {
+	const placeholder = 1 << 20
+	switch cfg.Topo {
+	case TopoLinear:
+		return topology.Linear(maxInt(cfg.Switches, 1), placeholder)
+	case TopoRing:
+		return topology.Ring(maxInt(cfg.Switches, 3), placeholder)
+	case TopoRandom:
+		return topology.RandomConnected(maxInt(cfg.Switches, 2), cfg.Degree, placeholder, cfg.Seed*7+3)
+	case TopoFatTree:
+		k := cfg.FatTreeK
+		if k%2 != 0 || k <= 0 {
+			k = 2
+		}
+		return topology.FatTree(k, placeholder, 2)
+	default:
+		return nil, fmt.Errorf("randgen: unknown topology %v", cfg.Topo)
+	}
+}
+
+// setCapacities applies the capacity profile uniformly.
+func setCapacities(topo *topology.Network, cfg Config, rng *rand.Rand) {
+	total := cfg.RulesPerPolicy + cfg.SharedDrops
+	switch cfg.Capacity {
+	case CapTight:
+		topo.SetCapacity(1 + rng.Intn(3))
+	case CapMedium:
+		topo.SetCapacity(maxInt(3, total/2+rng.Intn(total+1)))
+	default:
+		topo.SetCapacity(1 << 16)
+	}
+}
+
+// narrowPolicy generates a width-bit ternary policy with controlled
+// overlap: each rule either mutates a previous rule's region or draws a
+// fresh random ternary.
+func narrowPolicy(ingress int, cfg Config, rng *rand.Rand) *policy.Policy {
+	n := cfg.RulesPerPolicy
+	rules := make([]policy.Rule, 0, n)
+	var matches []match.Ternary
+	haveDrop := false
+	for i := 0; i < n; i++ {
+		var m match.Ternary
+		if len(matches) > 0 && rng.Float64() < cfg.OverlapDensity {
+			m = mutateTernary(matches[rng.Intn(len(matches))], rng)
+		} else {
+			m = randomTernary(cfg.Width, rng)
+		}
+		matches = append(matches, m)
+		action := policy.Permit
+		if rng.Float64() < cfg.DropFraction {
+			action = policy.Drop
+			haveDrop = true
+		}
+		rules = append(rules, policy.Rule{Match: m, Action: action, Priority: n - i})
+	}
+	if !haveDrop {
+		// A policy without DROP rules contributes nothing to the
+		// placement problem; force one so every instance is non-trivial.
+		rules[len(rules)-1].Action = policy.Drop
+	}
+	return policy.MustNew(ingress, rules)
+}
+
+// randomTernary draws a ternary where each bit is wildcard with
+// probability ~0.5, else an exact 0/1.
+func randomTernary(width int, rng *rand.Rand) match.Ternary {
+	t := match.NewTernary(width)
+	for b := 0; b < width; b++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			// wildcard
+		case 2:
+			t = t.SetBit(b, false)
+		case 3:
+			t = t.SetBit(b, true)
+		}
+	}
+	return t
+}
+
+// mutateTernary derives an overlapping (or adjacent) region from a base
+// match: narrow a wildcard bit, widen an exact bit, or flip an exact
+// bit to produce a disjoint sibling.
+func mutateTernary(base match.Ternary, rng *rand.Rand) match.Ternary {
+	w := base.Width()
+	if w == 0 {
+		return base
+	}
+	bit := rng.Intn(w)
+	care, one := base.Bit(bit)
+	switch {
+	case !care:
+		return base.SetBit(bit, rng.Intn(2) == 1)
+	case rng.Intn(2) == 0:
+		return base.SetWildcard(bit)
+	default:
+		return base.SetBit(bit, !one)
+	}
+}
+
+// sharedDrops builds the identical cross-policy DROP rules (mergeable
+// per §IV-B) for the configured width.
+func sharedDrops(cfg Config, rng *rand.Rand) []policy.Rule {
+	if cfg.SharedDrops <= 0 {
+		return nil
+	}
+	rules := make([]policy.Rule, 0, cfg.SharedDrops)
+	for i := 0; i < cfg.SharedDrops; i++ {
+		var m match.Ternary
+		if cfg.Width == 0 {
+			plen := 12 + rng.Intn(13)
+			m = match.SrcPrefixTernary(rng.Uint32(), plen)
+		} else {
+			m = randomTernary(cfg.Width, rng)
+		}
+		rules = append(rules, policy.Rule{Match: m, Action: policy.Drop})
+	}
+	return rules
+}
+
+// dstPool returns the egress destination prefixes when traffic slices
+// are on, so generated 5-tuple rules overlap the per-path slices.
+func dstPool(cfg Config, rt *routing.Routing) []uint32 {
+	if !cfg.TrafficSlices {
+		return nil
+	}
+	var pool []uint32
+	seen := map[topology.PortID]bool{}
+	for _, in := range rt.Ingresses() {
+		for _, p := range rt.Sets[in].Paths {
+			if seen[p.Egress] {
+				continue
+			}
+			seen[p.Egress] = true
+			ip, _ := routing.EgressPrefix(p.Egress)
+			pool = append(pool, ip)
+		}
+	}
+	return pool
+}
+
+// assignNarrowSlices gives each path a slice fixing the top two bits of
+// the (narrow) header to the path's egress port, the narrow-width
+// analogue of routing.AssignTrafficSlices.
+func assignNarrowSlices(rt *routing.Routing, width int) {
+	bits := 2
+	if width < 3 {
+		bits = 1
+	}
+	for _, in := range rt.Ingresses() {
+		ps := rt.Sets[in]
+		for i := range ps.Paths {
+			v := uint64(ps.Paths[i].Egress) % (1 << uint(bits))
+			ps.Paths[i].Traffic = match.NewTernary(width).SetField(width-bits, bits, v)
+			ps.Paths[i].HasTraffic = true
+		}
+	}
+}
+
+// FromSeed derives a small quick-suite config from a seed: the shape
+// knobs (topology family, sizes, width, overlap, capacity profile,
+// merging, slicing) are themselves drawn deterministically from the
+// seed, so a sweep over seeds covers the configuration space. The
+// instances are deliberately tiny — a few switches, a handful of rules —
+// so the ILP, SAT, and exhaustive oracles all answer in milliseconds.
+func FromSeed(seed int64) Config {
+	rng := rand.New(rand.NewSource(seed*2_654_435_761 + 101))
+	cfg := Config{Seed: seed}
+	switch rng.Intn(4) {
+	case 0:
+		cfg.Topo = TopoLinear
+		cfg.Switches = 2 + rng.Intn(4)
+	case 1:
+		cfg.Topo = TopoRing
+		cfg.Switches = 3 + rng.Intn(4)
+	case 2:
+		cfg.Topo = TopoRandom
+		cfg.Switches = 3 + rng.Intn(5)
+		cfg.Degree = 2 + rng.Intn(2)
+	default:
+		cfg.Topo = TopoFatTree
+		cfg.FatTreeK = 2
+	}
+	cfg.Ingresses = 1 + rng.Intn(2)
+	cfg.PathsPerIngress = 1 + rng.Intn(3)
+	cfg.RulesPerPolicy = 3 + rng.Intn(4)
+	if rng.Intn(3) == 0 {
+		cfg.Width = 0 // 5-tuple
+	} else {
+		cfg.Width = 6 + rng.Intn(6)
+	}
+	cfg.OverlapDensity = 0.3 + 0.5*rng.Float64()
+	cfg.DropFraction = 0.3 + 0.3*rng.Float64()
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Capacity = CapTight
+	case 1:
+		cfg.Capacity = CapMedium
+	default:
+		cfg.Capacity = CapSlack
+	}
+	if rng.Intn(3) == 0 {
+		cfg.SharedDrops = 1 + rng.Intn(2)
+	}
+	if rng.Intn(4) == 0 {
+		cfg.TrafficSlices = true
+	}
+	return cfg
+}
+
+// SoakConfig derives a larger config for cmd/diffcheck soak runs:
+// bigger topologies and policies than FromSeed, still small enough
+// that the exact backends finish without a time limit.
+func SoakConfig(seed int64) Config {
+	cfg := FromSeed(seed)
+	rng := rand.New(rand.NewSource(seed*40_503 + 271))
+	cfg.RulesPerPolicy = 6 + rng.Intn(8)
+	cfg.Ingresses = 1 + rng.Intn(3)
+	cfg.PathsPerIngress = 2 + rng.Intn(3)
+	switch cfg.Topo {
+	case TopoLinear, TopoRing:
+		cfg.Switches += rng.Intn(4)
+	case TopoRandom:
+		cfg.Switches = 5 + rng.Intn(7)
+	case TopoFatTree:
+		if rng.Intn(3) == 0 {
+			cfg.FatTreeK = 4
+		}
+	}
+	return cfg
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fuzzTooBig rejects inputs whose generator parameters would make Build
+// allocate huge topologies or policies — the fuzzer explores the parser
+// and builder logic, not memory exhaustion.
+func fuzzTooBig(p *Problem) bool {
+	t := p.Topology
+	if t.K > 6 || t.Switches > 48 || t.Hosts > 6 || t.Leaves > 10 || t.Spines > 10 {
+		return true
+	}
+	if t.Width > 8 || t.Height > 8 || t.Degree > 8 {
+		return true
+	}
+	if len(t.SwitchList) > 64 || len(t.Links) > 256 || len(t.Ports) > 64 {
+		return true
+	}
+	if len(p.Routing.Pairs) > 64 || len(p.Routing.Paths) > 64 {
+		return true
+	}
+	for _, path := range p.Routing.Paths {
+		if len(path.Switches) > 64 || len(path.Traffic) > 256 {
+			return true
+		}
+	}
+	if len(p.Policies) > 16 || len(p.Monitors) > 16 {
+		return true
+	}
+	for _, pol := range p.Policies {
+		if len(pol.Rules) > 64 {
+			return true
+		}
+		for _, r := range pol.Rules {
+			if len(r.Pattern) > 256 {
+				return true
+			}
+		}
+		if pol.Generate != nil && pol.Generate.NumRules > 64 {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzSpecParse feeds arbitrary bytes through the full spec pipeline:
+// Load -> Build -> Validate -> BuildMonitors -> Save -> Load. Nothing
+// may panic, and any problem that serializes must parse back cleanly
+// (the CLI writes fixtures with Save and replays them with Load).
+func FuzzSpecParse(f *testing.F) {
+	f.Add([]byte(`{"topology":{"type":"fig3","capacity":4},
+		"routing":{"pairs":[{"in":1,"out":2}],"seed":7},
+		"policies":[{"ingress":1,"generate":{"numRules":5,"dropFraction":0.4,"seed":3}}]}`))
+	f.Add([]byte(`{"topology":{"type":"explicit","capacity":2,
+		"switchList":[{"id":0,"capacity":2},{"id":1,"capacity":3}],
+		"links":[[0,1]],
+		"ports":[{"id":0,"switch":0,"ingress":true},{"id":1,"switch":1,"egress":true}]},
+		"routing":{"paths":[{"ingress":0,"egress":1,"switches":[0,1],"traffic":"1***"}]},
+		"policies":[{"ingress":0,"rules":[
+		{"pattern":"10**","action":"drop","priority":2},
+		{"pattern":"****","action":"permit","priority":1}]}]}`))
+	f.Add([]byte(`{"topology":{"type":"fattree","k":2,"capacity":8},
+		"routing":{"pairs":[{"in":0,"out":1}]},
+		"policies":[{"ingress":0,"rules":[{"src":"10.0.0.0/8","srcPort":80,"proto":"tcp","action":"drop","priority":9}]}],
+		"monitors":[{"switch":0,"dst":"10.1.0.0/16"}]}`))
+	f.Add([]byte(`{"topology":{"type":"ring","switches":4,"capacity":3},
+		"routing":{"pairs":[{"in":0,"out":2}],"trafficSlices":true},
+		"policies":[{"ingress":0,"generate":{"numRules":4}}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		p, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // malformed JSON is fine; it just must not panic
+		}
+		if fuzzTooBig(p) {
+			return
+		}
+		if _, err := p.BuildMonitors(); err != nil {
+			_ = err // building monitors may fail; must not panic
+		}
+		prob, err := p.Build()
+		if err != nil {
+			return
+		}
+		_ = prob.Validate()
+
+		// Whatever parsed must survive a Save/Load round trip: Load uses
+		// DisallowUnknownFields, so this catches field-name drift between
+		// the struct tags and the written form.
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("Save failed on loadable input: %v", err)
+		}
+		p2, err := Load(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("Save output does not Load: %v\n%s", err, buf.String())
+		}
+		if _, err := p2.Build(); err != nil {
+			t.Fatalf("rebuilt problem fails Build after round trip: %v", err)
+		}
+	})
+}

@@ -96,6 +96,10 @@ type Path struct {
 	Ingress  int   `json:"ingress"`
 	Egress   int   `json:"egress"`
 	Switches []int `json:"switches"`
+	// Traffic optionally restricts the packets following this path to a
+	// ternary pattern ({0,1,*} string, §IV-C path slicing). Empty means
+	// the path carries all packets.
+	Traffic string `json:"traffic,omitempty"`
 }
 
 // Policy describes one ingress policy: explicit rules, generated rules,
@@ -261,16 +265,24 @@ func (r Routing) build(topo *topology.Network) (*routing.Routing, error) {
 	switch {
 	case len(r.Paths) > 0:
 		rt = routing.NewRouting()
-		for _, p := range r.Paths {
+		for i, p := range r.Paths {
 			sws := make([]topology.SwitchID, len(p.Switches))
-			for i, s := range p.Switches {
-				sws[i] = topology.SwitchID(s)
+			for j, s := range p.Switches {
+				sws[j] = topology.SwitchID(s)
 			}
-			rt.Add(routing.Path{
+			rp := routing.Path{
 				Ingress:  topology.PortID(p.Ingress),
 				Egress:   topology.PortID(p.Egress),
 				Switches: sws,
-			})
+			}
+			if p.Traffic != "" {
+				t, err := match.ParseTernary(p.Traffic)
+				if err != nil {
+					return nil, fmt.Errorf("spec: path %d traffic: %w", i, err)
+				}
+				rp.Traffic, rp.HasTraffic = t, true
+			}
+			rt.Add(rp)
 		}
 	case len(r.Pairs) > 0:
 		pairs := make([]routing.PortPair, len(r.Pairs))

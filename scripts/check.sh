@@ -6,7 +6,8 @@
 #
 # Steps: gofmt, go vet, the repo's own static-analysis suite
 # (rulefitlint, both standalone and as a vettool), build, tests, the
-# race detector, and the rulefitdebug invariant-checked test pass.
+# race detector, the rulefitdebug invariant-checked test pass, and a
+# fuzz smoke (each target briefly, mirroring CI's fuzz-smoke job).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +52,18 @@ go test -run TestDisabledSinkOverheadSmoke ./internal/ilp/ || fail=1
 if [ "$mode" != "quick" ]; then
     step "go test -race"
     go test -race ./... || fail=1
+
+    # Mirror of CI's fuzz-smoke job, shortened for local runs. Any new
+    # crasher lands in testdata/fuzz/ — shrink it with cmd/diffcheck
+    # -export and commit it under testdata/regressions/.
+    step "fuzz smoke: ternary algebra"
+    go test -fuzz FuzzTernaryOverlap -fuzztime 10s -run '^$' ./internal/match/ || fail=1
+
+    step "fuzz smoke: spec parser"
+    go test -fuzz FuzzSpecParse -fuzztime 10s -run '^$' ./internal/spec/ || fail=1
+
+    step "fuzz smoke: differential placement"
+    go test -fuzz FuzzPlaceDifferential -fuzztime 10s -run '^$' ./internal/diffcheck/ || fail=1
 fi
 
 echo
