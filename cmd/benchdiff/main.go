@@ -1,0 +1,87 @@
+// Command benchdiff compares two rulefit-bench/v1 reports (BENCH_*.json)
+// and exits nonzero when any aligned run regressed. It is the perf gate
+// behind the committed benchmark trajectory: CI runs it in advisory mode
+// against the latest committed report, and a release check can run it
+// strictly between the last two trajectory points.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json     compare two explicit reports
+//	benchdiff -dir .                compare the two latest BENCH_*.json in a directory
+//
+// A run regresses when its wall clock moves more than -min-wall-ms
+// absolutely AND more than -threshold relatively, or when its solve
+// outcome worsens (e.g. optimal -> limit). Node/iteration drift is
+// reported separately: the solver is deterministic, so drift means the
+// search changed, not that the machine was busy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rulefit/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	var (
+		dir       = flag.String("dir", "", "compare the two lexically-latest BENCH_*.json in this directory")
+		threshold = flag.Float64("threshold", 0.25, "relative wall-clock slowdown tolerated before a run regresses")
+		minWallMS = flag.Float64("min-wall-ms", 5, "absolute wall-clock change (ms) required before a run can regress")
+		jsonOut   = flag.Bool("json", false, "emit the diff as JSON instead of text")
+		advisory  = flag.Bool("advisory", false, "report regressions but exit 0 (CI advisory mode)")
+	)
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch {
+	case *dir != "":
+		if flag.NArg() != 0 {
+			return fmt.Errorf("-dir and positional report paths are mutually exclusive")
+		}
+		var err error
+		oldPath, newPath, err = bench.LatestPair(*dir)
+		if err != nil {
+			return err
+		}
+	case flag.NArg() == 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		return fmt.Errorf("usage: benchdiff OLD.json NEW.json | benchdiff -dir DIR")
+	}
+
+	oldRep, err := bench.ReadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := bench.ReadReport(newPath)
+	if err != nil {
+		return err
+	}
+	d := bench.CompareReports(oldRep, newRep, bench.DiffOptions{
+		WallThreshold: *threshold,
+		MinWallMS:     *minWallMS,
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	} else if err := d.Render(os.Stdout); err != nil {
+		return err
+	}
+	if d.HasRegressions() && !*advisory {
+		os.Exit(1)
+	}
+	return nil
+}

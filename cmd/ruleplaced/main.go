@@ -1,0 +1,105 @@
+// Command ruleplaced is the long-running rule placement daemon: it
+// serves the core.Place pipeline over HTTP with operational telemetry
+// (request-scoped trace IDs, latency/size histograms, saturation
+// gauges, structured JSON logs) and drains gracefully on SIGTERM.
+//
+// Usage:
+//
+//	ruleplaced [-addr :8080] [-debug-addr 127.0.0.1:6060]
+//	           [-max-inflight N] [-max-queue N]
+//	           [-default-timeout 60s] [-max-timeout 10m]
+//	           [-trace-dir DIR] [-drain-timeout 30s]
+//
+// Endpoints (on -addr):
+//
+//	POST /v1/place     solve a placement: {"problem": <spec JSON>, "options": {...}}
+//	GET  /metrics      Prometheus text exposition (counters, gauges, histograms)
+//	GET  /metrics/json JSON metrics snapshot
+//	GET  /healthz      liveness (200 while the process runs)
+//	GET  /readyz       readiness (503 during drain)
+//
+// -debug-addr serves net/http/pprof plus a /metrics mirror, intended
+// for a loopback-only bind. Placements are byte-identical to running
+// core.Place in-process: the daemon only adds observability around the
+// solve, never inside it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rulefit/internal/daemon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ruleplaced:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "API listen address")
+		debugAddr    = flag.String("debug-addr", "", "pprof/debug listen address (empty disables; bind loopback in production)")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently solving requests (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "max requests waiting for a solve slot before 429 shedding")
+		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "solver time limit for requests that set none")
+		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on per-request solver time limits")
+		traceDir     = flag.String("trace-dir", "", "write per-request solver event traces (JSONL) into this directory")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight solves on SIGTERM")
+	)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	s := daemon.New(daemon.Config{
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		DefaultTimeLimit: *defTimeout,
+		MaxTimeLimit:     *maxTimeout,
+		TraceDir:         *traceDir,
+		Logger:           logger,
+	})
+	if err := s.Start(*addr); err != nil {
+		return err
+	}
+	logger.Info("listening", slog.String("addr", s.Addr()))
+
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, s.DebugHandler()); err != nil {
+				logger.Warn("debug server", slog.String("error", err.Error()))
+			}
+		}()
+	}
+
+	// Graceful drain: on SIGTERM/SIGINT stop accepting, flip /readyz to
+	// 503, and wait up to -drain-timeout for in-flight solves.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("draining", slog.Duration("timeout", *drainTimeout))
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errCh; err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	logger.Info("drained")
+	return nil
+}

@@ -38,6 +38,18 @@ var checkedTypes = []checked{
 		emptyOnly: true,
 		message:   "zero-value verify.Config relies on implicit sampling defaults; set Seed and effort fields explicitly",
 	},
+	{
+		pkgPath:  "rulefit/internal/daemon",
+		name:     "Config",
+		bounding: []string{"MaxInFlight"},
+		message:  "daemon.Config without MaxInFlight: admission falls back to GOMAXPROCS implicitly; state the concurrency bound",
+	},
+	{
+		pkgPath:   "rulefit/internal/obs",
+		name:      "HistogramOpts",
+		emptyOnly: true,
+		message:   "zero-value obs.HistogramOpts adopts the implicit default bucket layout; state Start/Factor/Count",
+	},
 }
 
 // Analyzer flags unbounded option literals.

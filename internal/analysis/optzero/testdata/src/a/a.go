@@ -4,7 +4,9 @@ package a
 import (
 	"time"
 
+	"rulefit/internal/daemon"
 	"rulefit/internal/ilp"
+	"rulefit/internal/obs"
 	"rulefit/internal/verify"
 )
 
@@ -15,7 +17,12 @@ func positives() {
 	// Attaching observability does not bound the search.
 	_ = ilp.Options{Sink: nil}             // want "ilp.Options without TimeLimit or NodeLimit"
 	_ = ilp.Options{Span: nil, Workers: 2} // want "ilp.Options without TimeLimit or NodeLimit"
+	_ = ilp.Options{TraceID: "req-000001"} // want "ilp.Options without TimeLimit or NodeLimit"
 	_ = verify.Config{}                    // want "zero-value verify.Config"
+	_ = daemon.Config{}                    // want "daemon.Config without MaxInFlight"
+	_ = daemon.Config{MaxQueue: 64}        // want "daemon.Config without MaxInFlight"
+	_ = daemon.Config{TraceDir: "/tmp/tr"} // want "daemon.Config without MaxInFlight"
+	_ = obs.HistogramOpts{}                // want "zero-value obs.HistogramOpts"
 }
 
 func negatives() {
@@ -25,6 +32,12 @@ func negatives() {
 	_ = ilp.Options{NodeLimit: 100, Sink: nil}
 	_ = verify.Config{Seed: 7}
 	_ = verify.Config{Span: nil} // non-empty: effort fields were considered
+	_ = daemon.Config{MaxInFlight: 4}
+	_ = daemon.Config{MaxInFlight: 0, MaxQueue: 16} // explicit 0 documents the GOMAXPROCS intent
+	_ = obs.HistogramOpts{Start: 0.001, Factor: 2, Count: 16}
+	_ = obs.HistogramOpts{Start: 1} // non-empty: a layout was considered
 	//lint:optzero ablation harness: unbounded solve is the point
 	_ = ilp.Options{}
+	//lint:optzero smoke tool: shedding bound irrelevant for one request
+	_ = daemon.Config{}
 }

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file implements the perf-regression comparator behind
+// cmd/benchdiff: it aligns two rulefit-bench/v1 reports run-by-run and
+// classifies wall-clock movement against a noise threshold. Because the
+// solver is deterministic for a fixed (workers, capacity, rules, seed)
+// key, node and simplex-iteration counts must match exactly between
+// reports built from the same code; a change there is search drift
+// (an algorithmic change), not timing noise, and is flagged separately
+// so a reviewer can tell "machine was busy" from "the search changed".
+
+// DiffOptions tunes the comparator's noise model.
+type DiffOptions struct {
+	// WallThreshold is the relative wall-clock slowdown tolerated before
+	// a run counts as regressed (and symmetrically, the speedup required
+	// to count as improved). Default 0.25 (25%).
+	WallThreshold float64
+	// MinWallMS is the absolute wall-clock change (ms) a run must move
+	// before it can count as regressed or improved; sub-millisecond
+	// solves jitter far beyond any relative threshold. Default 5 ms.
+	MinWallMS float64
+}
+
+// withDefaults fills in unset options.
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.WallThreshold <= 0 {
+		o.WallThreshold = 0.25
+	}
+	if o.MinWallMS <= 0 {
+		o.MinWallMS = 5
+	}
+	return o
+}
+
+// Verdict classifies one aligned run pair.
+type Verdict string
+
+// Verdicts, from best to worst.
+const (
+	VerdictImproved  Verdict = "improved"
+	VerdictUnchanged Verdict = "unchanged"
+	VerdictRegressed Verdict = "regressed"
+	VerdictAdded     Verdict = "added"
+	VerdictRemoved   Verdict = "removed"
+)
+
+// RunDiff is one aligned run pair (or an unmatched run).
+type RunDiff struct {
+	// Key identifies the run: workers/capacity/rules/seed.
+	Key     string  `json:"key"`
+	Verdict Verdict `json:"verdict"`
+	// OldWallMS/NewWallMS are the measured wall clocks; the absent side
+	// is 0 for added/removed runs.
+	OldWallMS float64 `json:"old_wall_ms"`
+	NewWallMS float64 `json:"new_wall_ms"`
+	// Ratio is NewWallMS/OldWallMS (0 when not comparable).
+	Ratio float64 `json:"ratio,omitempty"`
+	// SearchDrift reports that nodes or simplex iterations differ: the
+	// search itself changed, so the wall delta is not pure noise.
+	SearchDrift bool `json:"search_drift,omitempty"`
+	OldNodes    int  `json:"old_nodes,omitempty"`
+	NewNodes    int  `json:"new_nodes,omitempty"`
+	OldIters    int  `json:"old_iters,omitempty"`
+	NewIters    int  `json:"new_iters,omitempty"`
+	// StatusChanged reports a solve outcome change (e.g. optimal →
+	// limit), which always accompanies a verdict of regressed or
+	// improved regardless of wall clock.
+	OldStatus string `json:"old_status,omitempty"`
+	NewStatus string `json:"new_status,omitempty"`
+}
+
+// Diff is the comparison of two reports.
+type Diff struct {
+	OldTimestamp string      `json:"old_timestamp"`
+	NewTimestamp string      `json:"new_timestamp"`
+	Options      DiffOptions `json:"options"`
+	// HostMismatch warns that the two reports were taken on different
+	// hosts or Go versions, making wall clocks incomparable.
+	HostMismatch bool      `json:"host_mismatch,omitempty"`
+	Runs         []RunDiff `json:"runs"`
+	// Totals by verdict.
+	Improved  int `json:"improved"`
+	Unchanged int `json:"unchanged"`
+	Regressed int `json:"regressed"`
+	Added     int `json:"added"`
+	Removed   int `json:"removed"`
+	// Drifted counts runs with SearchDrift set.
+	Drifted int `json:"drifted"`
+	// OldTotalMS/NewTotalMS sum wall clocks over aligned runs only.
+	OldTotalMS float64 `json:"old_total_ms"`
+	NewTotalMS float64 `json:"new_total_ms"`
+}
+
+// HasRegressions reports whether any aligned run regressed.
+func (d *Diff) HasRegressions() bool { return d.Regressed > 0 }
+
+// runKey identifies a run across reports.
+func runKey(workers, capacity, rules int, seed int64) string {
+	return fmt.Sprintf("w%d/c%d/r%d/s%d", workers, capacity, rules, seed)
+}
+
+// flatten indexes a report's runs by key.
+func flatten(r *Report) map[string]RunRecord {
+	out := make(map[string]RunRecord)
+	for _, sr := range r.Series {
+		for _, p := range sr.Points {
+			for _, run := range p.Runs {
+				out[runKey(sr.Workers, sr.Capacity, p.Rules, run.Seed)] = run
+			}
+		}
+	}
+	return out
+}
+
+// CompareReports aligns two reports run-by-run and classifies each pair.
+func CompareReports(old, new *Report, opts DiffOptions) *Diff {
+	opts = opts.withDefaults()
+	d := &Diff{
+		OldTimestamp: old.Timestamp,
+		NewTimestamp: new.Timestamp,
+		Options:      opts,
+		HostMismatch: old.GOOS != new.GOOS || old.GOARCH != new.GOARCH ||
+			old.NumCPU != new.NumCPU || old.GoVersion != new.GoVersion,
+	}
+	oldRuns, newRuns := flatten(old), flatten(new)
+	keys := make([]string, 0, len(oldRuns)+len(newRuns))
+	for k := range oldRuns {
+		keys = append(keys, k)
+	}
+	for k := range newRuns {
+		if _, ok := oldRuns[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o, haveOld := oldRuns[k]
+		n, haveNew := newRuns[k]
+		rd := RunDiff{Key: k, OldWallMS: o.WallMS, NewWallMS: n.WallMS}
+		switch {
+		case !haveOld:
+			rd.Verdict = VerdictAdded
+			rd.NewStatus = n.Status
+			d.Added++
+		case !haveNew:
+			rd.Verdict = VerdictRemoved
+			rd.OldStatus = o.Status
+			d.Removed++
+		default:
+			rd.Verdict = classify(o, n, opts)
+			if o.Nodes != n.Nodes || o.SimplexIters != n.SimplexIters {
+				rd.SearchDrift = true
+				rd.OldNodes, rd.NewNodes = o.Nodes, n.Nodes
+				rd.OldIters, rd.NewIters = o.SimplexIters, n.SimplexIters
+				d.Drifted++
+			}
+			if o.Status != n.Status {
+				rd.OldStatus, rd.NewStatus = o.Status, n.Status
+			}
+			if o.WallMS > 0 {
+				rd.Ratio = n.WallMS / o.WallMS
+			}
+			d.OldTotalMS += o.WallMS
+			d.NewTotalMS += n.WallMS
+			switch rd.Verdict {
+			case VerdictImproved:
+				d.Improved++
+			case VerdictRegressed:
+				d.Regressed++
+			default:
+				d.Unchanged++
+			}
+		}
+		d.Runs = append(d.Runs, rd)
+	}
+	return d
+}
+
+// statusRank orders solve outcomes from best to worst for comparison.
+func statusRank(s string) int {
+	switch s {
+	case "optimal":
+		return 0
+	case "feasible":
+		return 1
+	case "limit":
+		return 2
+	case "infeasible":
+		return 3
+	default:
+		return 4
+	}
+}
+
+// classify applies the noise model to one aligned pair.
+func classify(o, n RunRecord, opts DiffOptions) Verdict {
+	// An outcome change trumps wall clock: losing optimality (or
+	// feasibility) is a regression even if it got faster, and vice
+	// versa. Infeasible-vs-infeasible stays a wall comparison.
+	if or, nr := statusRank(o.Status), statusRank(n.Status); or != nr {
+		if nr > or {
+			return VerdictRegressed
+		}
+		return VerdictImproved
+	}
+	delta := n.WallMS - o.WallMS
+	if delta > opts.MinWallMS && n.WallMS > o.WallMS*(1+opts.WallThreshold) {
+		return VerdictRegressed
+	}
+	if -delta > opts.MinWallMS && o.WallMS > n.WallMS*(1+opts.WallThreshold) {
+		return VerdictImproved
+	}
+	return VerdictUnchanged
+}
+
+// Render writes the human-readable comparison. The layout is stable and
+// golden-tested; scripts may grep the "RESULT:" trailer.
+func (d *Diff) Render(w io.Writer) error {
+	fmt.Fprintf(w, "benchdiff: %s -> %s\n", d.OldTimestamp, d.NewTimestamp)
+	fmt.Fprintf(w, "threshold: %.0f%% relative, %.1f ms absolute\n",
+		d.Options.WallThreshold*100, d.Options.MinWallMS)
+	if d.HostMismatch {
+		fmt.Fprintf(w, "WARNING: host or Go version differs between reports; wall clocks are not comparable\n")
+	}
+	for _, r := range d.Runs {
+		switch r.Verdict {
+		case VerdictAdded:
+			fmt.Fprintf(w, "  added     %-24s %8.1f ms\n", r.Key, r.NewWallMS)
+		case VerdictRemoved:
+			fmt.Fprintf(w, "  removed   %-24s %8.1f ms\n", r.Key, r.OldWallMS)
+		case VerdictUnchanged:
+			// Quiet unless the search drifted.
+			if r.SearchDrift {
+				fmt.Fprintf(w, "  drift     %-24s %8.1f -> %8.1f ms  nodes %d -> %d, iters %d -> %d\n",
+					r.Key, r.OldWallMS, r.NewWallMS, r.OldNodes, r.NewNodes, r.OldIters, r.NewIters)
+			}
+		default:
+			line := fmt.Sprintf("  %-9s %-24s %8.1f -> %8.1f ms (%.2fx)",
+				r.Verdict, r.Key, r.OldWallMS, r.NewWallMS, r.Ratio)
+			if r.OldStatus != r.NewStatus {
+				line += fmt.Sprintf("  status %s -> %s", r.OldStatus, r.NewStatus)
+			}
+			if r.SearchDrift {
+				line += fmt.Sprintf("  nodes %d -> %d", r.OldNodes, r.NewNodes)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	fmt.Fprintf(w, "aligned total: %.1f -> %.1f ms\n", d.OldTotalMS, d.NewTotalMS)
+	verdict := "PASS"
+	if d.Regressed > 0 {
+		verdict = "FAIL"
+	}
+	_, err := fmt.Fprintf(w, "RESULT: %s (%d improved, %d unchanged, %d regressed, %d added, %d removed, %d drifted)\n",
+		verdict, d.Improved, d.Unchanged, d.Regressed, d.Added, d.Removed, d.Drifted)
+	return err
+}
+
+// ReadReport loads and schema-checks one BENCH_*.json file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// LatestPair returns the two lexically-latest BENCH_*.json files in dir
+// (old, new): the stamp format sorts chronologically, so these are the
+// last two points of the committed perf trajectory.
+func LatestPair(dir string) (oldPath, newPath string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(matches) < 2 {
+		return "", "", fmt.Errorf("%s: need at least 2 BENCH_*.json files, found %d", dir, len(matches))
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-2], matches[len(matches)-1], nil
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadDiffFixtures reads the committed report pair covering every
+// verdict class: unchanged, regressed (wall), improved, drift,
+// regressed (status), removed, and added.
+func loadDiffFixtures(t *testing.T) (*Report, *Report) {
+	t.Helper()
+	old, err := ReadReport(filepath.Join("testdata", "diff", "BENCH_20260801T000000Z.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	new, err := ReadReport(filepath.Join("testdata", "diff", "BENCH_20260802T000000Z.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return old, new
+}
+
+func TestCompareReportsClassification(t *testing.T) {
+	old, new := loadDiffFixtures(t)
+	d := CompareReports(old, new, DiffOptions{})
+	if d.HostMismatch {
+		t.Fatal("fixtures share a host; HostMismatch set")
+	}
+	if d.Improved != 1 || d.Unchanged != 3 || d.Regressed != 2 || d.Added != 1 || d.Removed != 1 || d.Drifted != 1 {
+		t.Fatalf("verdict totals wrong: %+v", d)
+	}
+	if !d.HasRegressions() {
+		t.Fatal("regression pair reported clean")
+	}
+	byKey := map[string]RunDiff{}
+	for _, r := range d.Runs {
+		byKey[r.Key] = r
+	}
+	if v := byKey["w1/c10/r100/s2"].Verdict; v != VerdictRegressed {
+		t.Fatalf("wall regression classified %q", v)
+	}
+	if v := byKey["w1/c10/r100/s3"].Verdict; v != VerdictImproved {
+		t.Fatalf("wall improvement classified %q", v)
+	}
+	// 100 -> 104 ms is under both thresholds: noise.
+	if v := byKey["w1/c10/r300/s1"].Verdict; v != VerdictUnchanged {
+		t.Fatalf("sub-threshold change classified %q", v)
+	}
+	// optimal -> limit regresses even though the wall clock improved.
+	sr := byKey["w1/c10/r200/s2"]
+	if sr.Verdict != VerdictRegressed || sr.OldStatus != "optimal" || sr.NewStatus != "limit" {
+		t.Fatalf("status regression: %+v", sr)
+	}
+	// Deterministic solver: node/iter movement is drift, not noise.
+	dr := byKey["w1/c10/r200/s1"]
+	if dr.Verdict != VerdictUnchanged || !dr.SearchDrift || dr.OldNodes != 50 || dr.NewNodes != 60 {
+		t.Fatalf("search drift: %+v", dr)
+	}
+	if byKey["w1/c20/r100/s1"].Verdict != VerdictRemoved {
+		t.Fatalf("removed run: %+v", byKey["w1/c20/r100/s1"])
+	}
+	if byKey["w2/c10/r100/s1"].Verdict != VerdictAdded {
+		t.Fatalf("added run: %+v", byKey["w2/c10/r100/s1"])
+	}
+}
+
+func TestCompareReportSelfIsClean(t *testing.T) {
+	old, _ := loadDiffFixtures(t)
+	d := CompareReports(old, old, DiffOptions{})
+	if d.HasRegressions() || d.Improved != 0 || d.Added != 0 || d.Removed != 0 || d.Drifted != 0 {
+		t.Fatalf("self-comparison not clean: %+v", d)
+	}
+	if d.Unchanged != 7 {
+		t.Fatalf("self-comparison aligned %d runs, want 7", d.Unchanged)
+	}
+}
+
+func TestDiffRenderGolden(t *testing.T) {
+	old, new := loadDiffFixtures(t)
+	var buf bytes.Buffer
+	if err := CompareReports(old, new, DiffOptions{}).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "diff", "golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("render drifted from golden (re-run with -update if intended):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestLatestPair(t *testing.T) {
+	oldPath, newPath, err := LatestPair(filepath.Join("testdata", "diff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(oldPath) != "BENCH_20260801T000000Z.json" || filepath.Base(newPath) != "BENCH_20260802T000000Z.json" {
+		t.Fatalf("pair = %s, %s", oldPath, newPath)
+	}
+	if _, _, err := LatestPair(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"rulefit-bench/v999"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(p); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

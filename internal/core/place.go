@@ -76,6 +76,7 @@ func solveILP(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
 		DisablePresolve: opts.DisablePresolve,
 		Workers:         opts.Workers,
 		Sink:            opts.SolverSink,
+		TraceID:         opts.traceID(),
 		Span:            solveSp,
 	})
 	if err != nil {

@@ -127,6 +127,20 @@ type Options struct {
 	// (nil disables tracing). The placement is byte-identical with the
 	// sink attached or not.
 	SolverSink obs.Sink
+	// Request, when non-nil, scopes the run to one operational request:
+	// its Trace collects the phase spans when Options.Trace is unset,
+	// and its TraceID is stamped on every solver event so spans, B&B
+	// events, and log lines join by ID. Purely observational — the
+	// placement is byte-identical with or without it.
+	Request *obs.RequestCtx
+}
+
+// traceID returns the request trace ID ("" when unscoped).
+func (o Options) traceID() string {
+	if o.Request == nil {
+		return ""
+	}
+	return o.Request.TraceID
 }
 
 // withDefaults fills in unset options.
@@ -136,6 +150,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Objective == 0 {
 		o.Objective = ObjTotalRules
+	}
+	if o.Request != nil && o.Trace == nil {
+		o.Trace = o.Request.Trace
 	}
 	return o
 }

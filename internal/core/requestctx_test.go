@@ -1,0 +1,73 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rulefit/internal/obs"
+)
+
+// TestPlaceRequestCtxDoesNotPerturb is the acceptance gate for
+// request-scoped observability: attaching a RequestCtx (trace ID +
+// span trace) must leave the placement byte-identical to an unscoped
+// run, while stamping the ID on every solver event and adopting the
+// request's span trace.
+func TestPlaceRequestCtxDoesNotPerturb(t *testing.T) {
+	const id = "req-000001-00000000cafebabe"
+	for _, w := range []int{1, 4} {
+		plain, err := Place(determinismProblem(t), Options{
+			Merging: true, TimeLimit: 60 * time.Second, Workers: w,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		var rec obs.Recorder
+		rc := obs.NewRequestCtx(id)
+		scoped, err := Place(determinismProblem(t), Options{
+			Merging: true, TimeLimit: 60 * time.Second, Workers: w,
+			Request: rc, SolverSink: &rec,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d scoped: %v", w, err)
+		}
+		plain.Stats.SolveTime = 0
+		scoped.Stats.SolveTime = 0
+		if !reflect.DeepEqual(plain, scoped) {
+			t.Fatalf("workers=%d: request-scoped placement differs from unscoped:\n%+v\nvs\n%+v",
+				w, plain, scoped)
+		}
+		events := rec.Events()
+		if len(events) == 0 {
+			t.Fatalf("workers=%d: sink saw no events", w)
+		}
+		for i, e := range events {
+			if e.TraceID != id {
+				t.Fatalf("workers=%d: event %d missing trace ID: %+v", w, i, e)
+			}
+		}
+		// The request's trace collected the phase spans.
+		if len(rc.Trace.Roots()) != 1 || rc.Trace.Roots()[0].Name() != "place" {
+			t.Fatalf("workers=%d: request trace roots = %v", w, rc.Trace.Roots())
+		}
+	}
+}
+
+// TestPlaceExplicitTraceWinsOverRequest asserts precedence: when both
+// Options.Trace and a RequestCtx are set, spans land in the explicit
+// trace and the request's own trace stays empty.
+func TestPlaceExplicitTraceWinsOverRequest(t *testing.T) {
+	rc := obs.NewRequestCtx("req-000002-0000000000000001")
+	tr := obs.NewTrace()
+	if _, err := Place(determinismProblem(t), Options{
+		Merging: true, TimeLimit: 60 * time.Second, Trace: tr, Request: rc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Roots()) != 1 {
+		t.Fatalf("explicit trace got %d roots", len(tr.Roots()))
+	}
+	if len(rc.Trace.Roots()) != 0 {
+		t.Fatalf("request trace unexpectedly collected %d roots", len(rc.Trace.Roots()))
+	}
+}

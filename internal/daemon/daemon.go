@@ -1,0 +1,553 @@
+// Package daemon implements the long-running rule placement service
+// behind cmd/ruleplaced. It wraps the core.Place pipeline in an HTTP
+// API with production telemetry: request-scoped trace IDs joining
+// phase spans, solver events, and log lines; latency/size histograms
+// and saturation gauges on /metrics; a bounded in-flight limit with
+// 429 shedding; health/readiness endpoints; and graceful drain.
+//
+// Determinism rule: the daemon adds observability around core.Place,
+// never inside it. A placement served over HTTP is byte-identical to
+// the same problem solved in-process with the same options (see
+// TestDaemonMatchesInProcess).
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"rulefit/internal/core"
+	"rulefit/internal/obs"
+	"rulefit/internal/spec"
+	"rulefit/internal/topology"
+)
+
+// Config tunes the placement daemon. The zero value is usable for
+// tests, but production call sites must state MaxInFlight explicitly
+// (the optzero analyzer flags Config literals that leave it unset: an
+// unbounded daemon admits arbitrarily many concurrent solves and each
+// branch & bound run can hold hundreds of megabytes).
+type Config struct {
+	// MaxInFlight bounds concurrently solving requests
+	// (0 = GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests admitted but waiting for a solve slot;
+	// arrivals beyond MaxInFlight+MaxQueue are shed with 429 (default 0:
+	// shed as soon as all slots are busy).
+	MaxQueue int
+	// DefaultTimeLimit applies to requests that set no time limit
+	// (default 60s).
+	DefaultTimeLimit time.Duration
+	// MaxTimeLimit caps per-request time limits (default 10m).
+	MaxTimeLimit time.Duration
+	// MaxBodyBytes caps the request body size (default 8 MiB).
+	MaxBodyBytes int64
+	// TraceDir, when non-empty, writes each request's solver event
+	// stream as <TraceDir>/trace-<trace_id>.jsonl, joinable with the
+	// request's log line and spans by trace ID.
+	TraceDir string
+	// Logger receives one structured line per request (default: JSON
+	// to stderr).
+	Logger *slog.Logger
+	// Metrics is the instrument registry the daemon records into and
+	// /metrics exposes (default obs.Default).
+	Metrics *obs.Metrics
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.DefaultTimeLimit <= 0 {
+		c.DefaultTimeLimit = 60 * time.Second
+	}
+	if c.MaxTimeLimit <= 0 {
+		c.MaxTimeLimit = 10 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default
+	}
+	return c
+}
+
+// Server is the placement daemon: an HTTP handler set plus admission
+// control. Create with New, serve with Start/Serve (or mount Handler
+// on a test server), stop with Shutdown.
+type Server struct {
+	cfg    Config
+	log    *slog.Logger
+	met    *obs.Metrics
+	sem    chan struct{}
+	seq    atomic.Uint64
+	queued atomic.Int64
+	ready  atomic.Bool
+	mux    *http.ServeMux
+	debug  *http.ServeMux
+	srv    *http.Server
+	ln     net.Listener
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		log: cfg.Logger,
+		met: cfg.Metrics,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/place", s.handlePlace)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+
+	// The debug mux carries pprof (and a metrics mirror) so profiling
+	// endpoints can be bound to a loopback-only address in production.
+	s.debug = http.NewServeMux()
+	s.debug.HandleFunc("/debug/pprof/", pprof.Index)
+	s.debug.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.debug.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.debug.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.debug.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.debug.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the API handler (place, metrics, health).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// DebugHandler returns the pprof/debug handler.
+func (s *Server) DebugHandler() http.Handler { return s.debug }
+
+// Start binds addr (":0" for an ephemeral port) and marks the server
+// ready. Serve must be called to accept connections.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	s.ready.Store(true)
+	return nil
+}
+
+// Addr returns the bound address (after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Shutdown. Like http.Server.Serve it
+// returns http.ErrServerClosed on graceful stop.
+func (s *Server) Serve() error {
+	if s.srv == nil {
+		return errors.New("daemon: Serve before Start")
+	}
+	return s.srv.Serve(s.ln)
+}
+
+// Shutdown drains the server: readiness flips to 503 immediately (so
+// load balancers stop routing), no new connections are accepted, and
+// the call blocks until in-flight requests complete or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// PlaceRequest is the POST /v1/place body: an internal/spec problem
+// description plus per-request solver options.
+type PlaceRequest struct {
+	Problem json.RawMessage `json:"problem"`
+	Options RequestOptions  `json:"options"`
+}
+
+// RequestOptions is the per-request subset of core.Options, in wire
+// form.
+type RequestOptions struct {
+	// Backend is "ilp" (default) or "sat".
+	Backend string `json:"backend,omitempty"`
+	// Objective is "rules" (default), "traffic", "weighted", or
+	// "minmaxload".
+	Objective       string `json:"objective,omitempty"`
+	Merging         bool   `json:"merging,omitempty"`
+	PathSlicing     bool   `json:"pathSlicing,omitempty"`
+	RemoveRedundant bool   `json:"removeRedundant,omitempty"`
+	SatisfyOnly     bool   `json:"satisfyOnly,omitempty"`
+	// Workers sets branch & bound parallelism (0 = GOMAXPROCS). The
+	// placement is independent of the worker count.
+	Workers int `json:"workers,omitempty"`
+	// TimeLimitSec bounds the solve; 0 uses the daemon default and the
+	// daemon cap always applies.
+	TimeLimitSec float64 `json:"timeLimitSec,omitempty"`
+}
+
+// build converts wire options to core.Options (without Request/Trace).
+func (ro RequestOptions) build(cfg Config) (core.Options, error) {
+	opts := core.Options{
+		Merging:         ro.Merging,
+		PathSlicing:     ro.PathSlicing,
+		RemoveRedundant: ro.RemoveRedundant,
+		SatisfyOnly:     ro.SatisfyOnly,
+		Workers:         ro.Workers,
+	}
+	switch ro.Backend {
+	case "", "ilp":
+		opts.Backend = core.BackendILP
+	case "sat":
+		opts.Backend = core.BackendSAT
+	default:
+		return opts, fmt.Errorf("unknown backend %q", ro.Backend)
+	}
+	switch ro.Objective {
+	case "", "rules":
+		opts.Objective = core.ObjTotalRules
+	case "traffic":
+		opts.Objective = core.ObjTraffic
+	case "weighted":
+		opts.Objective = core.ObjWeightedSwitches
+	case "minmaxload":
+		opts.Objective = core.ObjMinMaxLoad
+	default:
+		return opts, fmt.Errorf("unknown objective %q", ro.Objective)
+	}
+	if ro.TimeLimitSec < 0 {
+		return opts, fmt.Errorf("negative timeLimitSec %g", ro.TimeLimitSec)
+	}
+	opts.TimeLimit = time.Duration(ro.TimeLimitSec * float64(time.Second))
+	if opts.TimeLimit == 0 {
+		opts.TimeLimit = cfg.DefaultTimeLimit
+	}
+	if opts.TimeLimit > cfg.MaxTimeLimit {
+		opts.TimeLimit = cfg.MaxTimeLimit
+	}
+	return opts, nil
+}
+
+// PlaceResponse is the POST /v1/place reply. Placement is the
+// deterministic part: byte-identical for identical (problem, options)
+// pairs regardless of transport, worker count, or attached telemetry.
+// TraceID and WallMS are observational.
+type PlaceResponse struct {
+	TraceID   string    `json:"trace_id"`
+	WallMS    float64   `json:"wall_ms"`
+	Placement Placement `json:"placement"`
+}
+
+// Placement is the JSON-stable projection of a core.Placement.
+type Placement struct {
+	Status     string    `json:"status"`
+	TotalRules int       `json:"total_rules"`
+	Objective  float64   `json:"objective"`
+	MaxLoad    float64   `json:"max_load"`
+	Assign     [][][]int `json:"assign"`
+	MergedAt   [][]int   `json:"merged_at"`
+	Stats      Stats     `json:"stats"`
+}
+
+// Stats is the deterministic solver-effort subset of core.Stats
+// (wall-clock fields are deliberately absent).
+type Stats struct {
+	Variables    int     `json:"variables"`
+	Constraints  int     `json:"constraints"`
+	Nodes        int     `json:"nodes"`
+	SimplexIters int     `json:"simplex_iters"`
+	StopReason   string  `json:"stop_reason"`
+	BestBound    float64 `json:"best_bound"`
+	Gap          float64 `json:"gap"`
+}
+
+// EncodePlacement projects a core.Placement into the wire form. The
+// projection is a pure function of the placement, so two byte-equal
+// placements encode to byte-equal JSON.
+func EncodePlacement(pl *core.Placement) Placement {
+	out := Placement{
+		Status:     pl.Status.String(),
+		TotalRules: pl.TotalRules,
+		Objective:  pl.Objective,
+		MaxLoad:    pl.MaxLoad,
+		Assign:     make([][][]int, len(pl.Assign)),
+		MergedAt:   make([][]int, len(pl.MergedAt)),
+		Stats: Stats{
+			Variables:    pl.Stats.Variables,
+			Constraints:  pl.Stats.Constraints,
+			Nodes:        pl.Stats.BnBNodes,
+			SimplexIters: pl.Stats.SimplexIters,
+			StopReason:   pl.Stats.StopReason.String(),
+			BestBound:    pl.Stats.BestBound,
+			Gap:          pl.Stats.Gap,
+		},
+	}
+	for pi := range pl.Assign {
+		out.Assign[pi] = make([][]int, len(pl.Assign[pi]))
+		for ri := range pl.Assign[pi] {
+			out.Assign[pi][ri] = switchIDs(pl.Assign[pi][ri])
+		}
+	}
+	for g := range pl.MergedAt {
+		out.MergedAt[g] = switchIDs(pl.MergedAt[g])
+	}
+	return out
+}
+
+// switchIDs converts a switch list to plain ints ([] rather than null
+// for empty, keeping the JSON stable).
+func switchIDs(sws []topology.SwitchID) []int {
+	out := make([]int, len(sws))
+	for i, sw := range sws {
+		out[i] = int(sw)
+	}
+	return out
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	TraceID string `json:"trace_id,omitempty"`
+	Error   string `json:"error"`
+}
+
+// handlePlace serves POST /v1/place.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.finish(w, r, requestState{code: http.StatusBadRequest, status: "bad_request",
+			err: fmt.Errorf("reading body: %w", err), start: start})
+		return
+	}
+	traceID := obs.TraceIDFor(s.seq.Add(1), body)
+	st := requestState{traceID: traceID, start: start}
+
+	// Admission: MaxInFlight solving, MaxQueue waiting, 429 beyond.
+	if s.queued.Add(1) > int64(s.cfg.MaxInFlight+s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		st.code, st.status = http.StatusTooManyRequests, "shed"
+		st.err = errors.New("server at capacity")
+		s.finish(w, r, st)
+		return
+	}
+	defer s.queued.Add(-1)
+	s.met.QueueDepth().Add(1)
+	select {
+	case s.sem <- struct{}{}:
+		s.met.QueueDepth().Add(-1)
+	case <-r.Context().Done():
+		s.met.QueueDepth().Add(-1)
+		st.code, st.status = statusClientClosed, "canceled"
+		st.err = r.Context().Err()
+		s.finish(w, r, st)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.met.InFlight().Add(1)
+	defer s.met.InFlight().Add(-1)
+
+	var req PlaceRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || len(req.Problem) == 0 {
+		if err == nil {
+			err = errors.New("missing problem")
+		}
+		st.code, st.status, st.err = http.StatusBadRequest, "bad_request", err
+		s.finish(w, r, st)
+		return
+	}
+	desc, err := spec.LoadBytes(req.Problem)
+	if err != nil {
+		st.code, st.status, st.err = http.StatusBadRequest, "bad_request", err
+		s.finish(w, r, st)
+		return
+	}
+	prob, err := desc.Build()
+	if err != nil {
+		st.code, st.status, st.err = http.StatusBadRequest, "bad_request", err
+		s.finish(w, r, st)
+		return
+	}
+	opts, err := req.Options.build(s.cfg)
+	if err != nil {
+		st.code, st.status, st.err = http.StatusBadRequest, "bad_request", err
+		s.finish(w, r, st)
+		return
+	}
+	opts.Monitors, err = desc.BuildMonitors()
+	if err != nil {
+		st.code, st.status, st.err = http.StatusBadRequest, "bad_request", err
+		s.finish(w, r, st)
+		return
+	}
+	opts.Request = obs.NewRequestCtx(traceID)
+
+	var traceFile *os.File
+	var traceJW *obs.JSONLWriter
+	if s.cfg.TraceDir != "" {
+		f, err := os.Create(filepath.Join(s.cfg.TraceDir, "trace-"+traceID+".jsonl"))
+		if err != nil {
+			st.code, st.status, st.err = http.StatusInternalServerError, "error", err
+			s.finish(w, r, st)
+			return
+		}
+		traceFile = f
+		traceJW = obs.NewJSONLWriter(f)
+		opts.SolverSink = traceJW
+	}
+
+	pl, err := core.Place(prob, opts)
+	if traceFile != nil {
+		if ferr := traceJW.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if cerr := traceFile.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		st.code, st.status, st.err = http.StatusInternalServerError, "error", err
+		s.finish(w, r, st)
+		return
+	}
+	st.code, st.status = http.StatusOK, pl.Status.String()
+	st.placement = pl
+	s.finish(w, r, st)
+}
+
+// statusClientClosed mirrors the conventional nginx 499 code for
+// client-canceled requests; net/http has no named constant for it.
+const statusClientClosed = 499
+
+// requestState accumulates one request's outcome for the response,
+// the log line, and the metrics sample.
+type requestState struct {
+	traceID   string
+	code      int
+	status    string
+	err       error
+	placement *core.Placement
+	start     time.Time
+}
+
+// finish writes the response, the per-request log line, and the
+// metrics sample — exactly once per request.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, st requestState) {
+	wall := time.Since(st.start)
+	sample := obs.RequestSample{Status: st.status}
+	attrs := []slog.Attr{
+		slog.String("trace_id", st.traceID),
+		slog.String("status", st.status),
+		slog.Int("code", st.code),
+		slog.Float64("wall_ms", float64(wall.Microseconds())/1e3),
+	}
+	level := slog.LevelInfo
+	if st.placement != nil {
+		sample.StopReason = st.placement.Stats.StopReason.String()
+		sample.Placed = true
+		sample.InstalledRules = st.placement.TotalRules
+		attrs = append(attrs,
+			slog.Int("nodes", st.placement.Stats.BnBNodes),
+			slog.Float64("gap", st.placement.Stats.Gap),
+			slog.String("stop_reason", sample.StopReason),
+			slog.Int("total_rules", st.placement.TotalRules),
+		)
+	}
+	if st.err != nil {
+		attrs = append(attrs, slog.String("error", st.err.Error()))
+		level = slog.LevelWarn
+	}
+	s.met.RecordRequest(sample)
+	s.log.LogAttrs(r.Context(), level, "place", attrs...)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(st.code)
+	enc := json.NewEncoder(w)
+	if st.placement == nil {
+		msg := ""
+		if st.err != nil {
+			msg = st.err.Error()
+		}
+		if err := enc.Encode(errorResponse{TraceID: st.traceID, Error: msg}); err != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "write_response",
+				slog.String("trace_id", st.traceID), slog.String("error", err.Error()))
+		}
+		return
+	}
+	resp := PlaceResponse{
+		TraceID:   st.traceID,
+		WallMS:    float64(wall.Microseconds()) / 1e3,
+		Placement: EncodePlacement(st.placement),
+	}
+	if err := enc.Encode(resp); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "write_response",
+			slog.String("trace_id", st.traceID), slog.String("error", err.Error()))
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.met.WritePrometheus(w); err != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "metrics",
+			slog.String("error", err.Error()))
+	}
+}
+
+// handleMetricsJSON serves the JSON snapshot.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.met.WriteJSON(w); err != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "metrics_json",
+			slog.String("error", err.Error()))
+	}
+}
+
+// handleHealthz reports process liveness (always 200 once serving).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports routability: 200 while accepting work, 503
+// before Start and during drain.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -39,6 +39,11 @@ type Options struct {
 	// solution — is byte-identical with tracing on or off and the event
 	// sequence is identical (modulo Event.TimeMS) for any worker count.
 	Sink obs.Sink
+	// TraceID, when non-empty, is stamped on every event emitted to
+	// Sink (Event.TraceID), joining the solve's event stream to the
+	// request that triggered it. Purely observational: it never feeds
+	// back into the search.
+	TraceID string
 	// Span, when non-nil, is the parent under which the solver opens
 	// presolve / root_lp / search timing child spans.
 	Span *obs.Span
@@ -74,6 +79,9 @@ func solve(m *Model, opts Options, start time.Time) (Solution, error) {
 	if err := m.Validate(); err != nil {
 		return Solution{}, err
 	}
+	// Request-scoped tracing: stamp the trace ID on every emitted event.
+	// Tag returns nil for a nil sink, so the disabled fast path holds.
+	opts.Sink = obs.Tag(opts.TraceID, opts.Sink)
 	var deadline time.Time
 	if opts.TimeLimit > 0 {
 		deadline = start.Add(opts.TimeLimit)

@@ -4,16 +4,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"sync/atomic"
 	"time"
 )
 
-// Metrics is a process-wide registry of solver counters. Unlike event
-// sinks it is always on: internal/ilp records one SolveSample per solve
-// (a handful of atomic adds, nowhere near any hot path), so long-lived
-// processes can expose cumulative solver effort without enabling
-// tracing. Default is the registry the solver records into and the
-// -metrics / -pprof endpoints expose.
+// Metrics is a process-wide registry of solver and request
+// instruments. Unlike event sinks it is always on: internal/ilp records
+// one SolveSample per solve and the placement daemon one RequestSample
+// per request (a handful of atomic adds and histogram observations,
+// nowhere near any hot path), so long-lived processes can expose
+// cumulative solver effort and request latency distributions without
+// enabling tracing. Default is the registry the solver records into and
+// the -metrics / -pprof / daemon endpoints expose; tests should use an
+// instance (`var m Metrics`) or call Reset to avoid cross-test bleed.
 type Metrics struct {
 	solves          atomic.Int64
 	solvesOptimal   atomic.Int64
@@ -33,10 +38,59 @@ type Metrics struct {
 	lostSubtrees    atomic.Int64
 	prunedStale     atomic.Int64
 	wallMicros      atomic.Int64
+
+	// Distribution instruments, fed by RecordSolve / RecordRequest.
+	solveWallHist  Histogram
+	solveNodesHist Histogram
+	solveItersHist Histogram
+	placedRules    Histogram
+
+	// Request-level instruments (the placement daemon).
+	requests Gauge // in-flight
+	queue    Gauge // admitted but waiting for a solve slot
+	byStatus LabeledCounter
 }
 
 // Default is the process-wide registry.
 var Default = &Metrics{}
+
+// Histogram layouts. Log-spaced so one layout spans sub-millisecond
+// root-LP solves and multi-minute branch & bound runs.
+var (
+	// solveWallBuckets: 0.5ms .. ~131s.
+	solveWallBuckets = HistogramOpts{Start: 0.0005, Factor: 2, Count: 18}
+	// solveNodesBuckets: 1 .. ~524k nodes.
+	solveNodesBuckets = HistogramOpts{Start: 1, Factor: 2, Count: 20}
+	// solveItersBuckets: 8 .. ~4.2M simplex iterations.
+	solveItersBuckets = HistogramOpts{Start: 8, Factor: 2, Count: 20}
+	// placedRulesBuckets: 1 .. ~32k installed TCAM slots.
+	placedRulesBuckets = HistogramOpts{Start: 1, Factor: 2, Count: 16}
+)
+
+// initHists sets the non-default layouts once, before first use. It is
+// idempotent under the histogram locks (init only when unset).
+func (m *Metrics) initHists() {
+	m.solveWallHist.mu.Lock()
+	if m.solveWallHist.bounds == nil {
+		m.solveWallHist.init(solveWallBuckets)
+	}
+	m.solveWallHist.mu.Unlock()
+	m.solveNodesHist.mu.Lock()
+	if m.solveNodesHist.bounds == nil {
+		m.solveNodesHist.init(solveNodesBuckets)
+	}
+	m.solveNodesHist.mu.Unlock()
+	m.solveItersHist.mu.Lock()
+	if m.solveItersHist.bounds == nil {
+		m.solveItersHist.init(solveItersBuckets)
+	}
+	m.solveItersHist.mu.Unlock()
+	m.placedRules.mu.Lock()
+	if m.placedRules.bounds == nil {
+		m.placedRules.init(placedRulesBuckets)
+	}
+	m.placedRules.mu.Unlock()
+}
 
 // SolveSample is the per-solve bulk update recorded into a Metrics.
 type SolveSample struct {
@@ -55,7 +109,8 @@ type SolveSample struct {
 	PrunedStale    int
 }
 
-// RecordSolve folds one finished solve into the counters.
+// RecordSolve folds one finished solve into the counters and the
+// solve-level histograms (latency, nodes, simplex iterations).
 func (m *Metrics) RecordSolve(s SolveSample) {
 	m.solves.Add(1)
 	switch s.Status {
@@ -82,6 +137,79 @@ func (m *Metrics) RecordSolve(s SolveSample) {
 	m.integralLeaves.Add(int64(s.IntegralLeaves))
 	m.lostSubtrees.Add(int64(s.LostSubtrees))
 	m.prunedStale.Add(int64(s.PrunedStale))
+	m.initHists()
+	m.solveWallHist.Observe(s.Wall.Seconds())
+	m.solveNodesHist.Observe(float64(s.Nodes))
+	m.solveItersHist.Observe(float64(s.SimplexIters))
+}
+
+// RequestSample is the per-request bulk update recorded by a serving
+// frontend (cmd/ruleplaced). Status and StopReason label the request
+// counter; InstalledRules feeds the placement-size histogram when the
+// request produced a placement (Placed).
+type RequestSample struct {
+	// Status is the request outcome: a placement status ("optimal",
+	// "feasible", "infeasible", "limit"), or a frontend outcome
+	// ("shed", "bad_request", "error", "canceled").
+	Status string
+	// StopReason is the solver stop reason ("none" when the tree was
+	// exhausted; "" for requests that never reached the solver).
+	StopReason string
+	// Placed marks samples whose InstalledRules is meaningful.
+	Placed         bool
+	InstalledRules int
+}
+
+// RecordRequest folds one finished request into the labeled request
+// counter and the installed-rules histogram.
+func (m *Metrics) RecordRequest(s RequestSample) {
+	reason := s.StopReason
+	if reason == "" {
+		reason = "none"
+	}
+	m.byStatus.Add(1, s.Status, reason)
+	if s.Placed {
+		m.initHists()
+		m.placedRules.Observe(float64(s.InstalledRules))
+	}
+}
+
+// InFlight is the gauge of requests currently solving.
+func (m *Metrics) InFlight() *Gauge { return &m.requests }
+
+// QueueDepth is the gauge of requests admitted but waiting for a
+// solve slot.
+func (m *Metrics) QueueDepth() *Gauge { return &m.queue }
+
+// Reset zeroes every instrument (counters, gauges, histograms, labeled
+// series), so tests can use Default without cross-test bleed. Resetting
+// a live registry mid-scrape is safe but produces a mixed snapshot;
+// production processes have no reason to call it.
+func (m *Metrics) Reset() {
+	for _, c := range []*atomic.Int64{
+		&m.solves, &m.solvesOptimal, &m.solvesFeasible, &m.solvesInfeas,
+		&m.solvesLimit, &m.solvesUnbounded, &m.nodes, &m.simplexIters,
+		&m.luRefactors, &m.presolveFixes, &m.incumbents, &m.branched,
+		&m.prunedBound, &m.prunedInfeas, &m.integralLeaves,
+		&m.lostSubtrees, &m.prunedStale, &m.wallMicros,
+	} {
+		c.Store(0)
+	}
+	m.solveWallHist.reset()
+	m.solveNodesHist.reset()
+	m.solveItersHist.reset()
+	m.placedRules.reset()
+	m.requests.Set(0)
+	m.queue.Set(0)
+	m.byStatus.reset()
+}
+
+// RequestCount is one (status, stop_reason) series of the request
+// counter.
+type RequestCount struct {
+	Status     string `json:"status"`
+	StopReason string `json:"stop_reason"`
+	Count      int64  `json:"count"`
 }
 
 // MetricsSnapshot is a point-in-time JSON-encodable copy of a Metrics.
@@ -104,11 +232,20 @@ type MetricsSnapshot struct {
 	IntegralLeaves   int64   `json:"integral_leaves"`
 	LostSubtrees     int64   `json:"lost_subtrees"`
 	PrunedStale      int64   `json:"pruned_stale"`
+
+	InFlightRequests int64             `json:"in_flight_requests"`
+	QueueDepth       int64             `json:"queue_depth"`
+	Requests         []RequestCount    `json:"requests,omitempty"`
+	SolveWallHist    HistogramSnapshot `json:"solve_wall_seconds_hist"`
+	SolveNodesHist   HistogramSnapshot `json:"solve_nodes_hist"`
+	SolveItersHist   HistogramSnapshot `json:"solve_simplex_iters_hist"`
+	InstalledRules   HistogramSnapshot `json:"installed_rules_hist"`
 }
 
-// Snapshot copies the current counter values.
+// Snapshot copies the current instrument values.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
+	m.initHists()
+	s := MetricsSnapshot{
 		Solves:           m.solves.Load(),
 		SolvesOptimal:    m.solvesOptimal.Load(),
 		SolvesFeasible:   m.solvesFeasible.Load(),
@@ -127,7 +264,24 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		IntegralLeaves:   m.integralLeaves.Load(),
 		LostSubtrees:     m.lostSubtrees.Load(),
 		PrunedStale:      m.prunedStale.Load(),
+		InFlightRequests: m.requests.Value(),
+		QueueDepth:       m.queue.Value(),
+		SolveWallHist:    m.solveWallHist.Snapshot(),
+		SolveNodesHist:   m.solveNodesHist.Snapshot(),
+		SolveItersHist:   m.solveItersHist.Snapshot(),
+		InstalledRules:   m.placedRules.Snapshot(),
 	}
+	for _, lc := range m.byStatus.Snapshot() {
+		rc := RequestCount{Count: lc.Value}
+		if len(lc.Labels) > 0 {
+			rc.Status = lc.Labels[0]
+		}
+		if len(lc.Labels) > 1 {
+			rc.StopReason = lc.Labels[1]
+		}
+		s.Requests = append(s.Requests, rc)
+	}
+	return s
 }
 
 // WriteJSON writes the snapshot as indented JSON.
@@ -137,64 +291,124 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 	return enc.Encode(m.Snapshot())
 }
 
+// series is one exposition line: optional label set and a value.
+type series struct {
+	labels string
+	val    float64
+}
+
+// family is one metric family: TYPE/HELP header plus its series.
+type family struct {
+	name, help, typ string
+	series          []series
+}
+
+// promFloat renders a sample value; +Inf never appears as a value (only
+// as a bucket label), so %g suffices.
+func promFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// histFamilies renders one histogram as its Prometheus series: one
+// TYPE/HELP header on the base name, cumulative _bucket{le=...} series
+// ending at le="+Inf", then _sum and _count.
+func histFamilies(name, help string, h HistogramSnapshot) []family {
+	var buckets []series
+	for _, b := range h.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = promFloat(b.LE)
+		}
+		buckets = append(buckets, series{
+			labels: fmt.Sprintf(`{le="%s"}`, le),
+			val:    float64(b.Count),
+		})
+	}
+	// The exposition format carries a histogram as one TYPE'd family
+	// whose samples are name_bucket/name_sum/name_count; the header-only
+	// first entry emits the shared TYPE/HELP lines.
+	return []family{
+		{name: name, help: help, typ: "histogram"},
+		{name: name + "_bucket", series: buckets},
+		{name: name + "_sum", series: []series{{val: h.Sum}}},
+		{name: name + "_count", series: []series{{val: float64(h.Count)}}},
+	}
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text exposition
 // format (version 0.0.4), suitable for a /metrics endpoint or a
-// one-shot dump at process exit.
+// one-shot dump at process exit. Histograms are emitted as cumulative
+// _bucket{le=...} series ending at le="+Inf", plus _sum and _count.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	s := m.Snapshot()
-	type metric struct {
-		name, help string
-		labels     string
-		val        float64
-	}
-	// Declarations are grouped by metric family so TYPE/HELP headers
-	// are emitted once per family, as the format requires.
-	families := []struct {
-		name, help string
-		series     []metric
-	}{
-		{"rulefit_solves_total", "Completed ilp.Solve calls by final status.", []metric{
+	families := []family{
+		{name: "rulefit_solves_total", help: "Completed ilp.Solve calls by final status.", typ: "counter", series: []series{
 			{labels: `{status="optimal"}`, val: float64(s.SolvesOptimal)},
 			{labels: `{status="feasible"}`, val: float64(s.SolvesFeasible)},
 			{labels: `{status="infeasible"}`, val: float64(s.SolvesInfeasible)},
 			{labels: `{status="limit"}`, val: float64(s.SolvesLimit)},
 			{labels: `{status="unbounded"}`, val: float64(s.SolvesUnbounded)},
 		}},
-		{"rulefit_solve_wall_seconds_total", "Wall-clock seconds spent inside ilp.Solve.", []metric{
+		{name: "rulefit_solve_wall_seconds_total", help: "Wall-clock seconds spent inside ilp.Solve.", typ: "counter", series: []series{
 			{val: s.SolveWallSec},
 		}},
-		{"rulefit_bnb_nodes_total", "Branch & bound nodes expanded.", []metric{
+		{name: "rulefit_bnb_nodes_total", help: "Branch & bound nodes expanded.", typ: "counter", series: []series{
 			{val: float64(s.Nodes)},
 		}},
-		{"rulefit_simplex_iters_total", "Simplex iterations across all node LPs.", []metric{
+		{name: "rulefit_simplex_iters_total", help: "Simplex iterations across all node LPs.", typ: "counter", series: []series{
 			{val: float64(s.SimplexIters)},
 		}},
-		{"rulefit_lu_refactorizations_total", "Basis LU refactorizations.", []metric{
+		{name: "rulefit_lu_refactorizations_total", help: "Basis LU refactorizations.", typ: "counter", series: []series{
 			{val: float64(s.LURefactors)},
 		}},
-		{"rulefit_presolve_fixes_total", "Presolve bound tightenings.", []metric{
+		{name: "rulefit_presolve_fixes_total", help: "Presolve bound tightenings.", typ: "counter", series: []series{
 			{val: float64(s.PresolveFixes)},
 		}},
-		{"rulefit_incumbents_total", "Incumbent improvements found.", []metric{
+		{name: "rulefit_incumbents_total", help: "Incumbent improvements found.", typ: "counter", series: []series{
 			{val: float64(s.Incumbents)},
 		}},
-		{"rulefit_node_outcomes_total", "Expanded-node outcomes by reason.", []metric{
+		{name: "rulefit_node_outcomes_total", help: "Expanded-node outcomes by reason.", typ: "counter", series: []series{
 			{labels: `{outcome="branched"}`, val: float64(s.Branched)},
 			{labels: `{outcome="pruned_bound"}`, val: float64(s.PrunedBound)},
 			{labels: `{outcome="pruned_infeasible"}`, val: float64(s.PrunedInfeasible)},
 			{labels: `{outcome="integral"}`, val: float64(s.IntegralLeaves)},
 			{labels: `{outcome="lost"}`, val: float64(s.LostSubtrees)},
 		}},
-		{"rulefit_stale_skips_total", "Deque items discarded as bound-dominated before expansion.", []metric{
+		{name: "rulefit_stale_skips_total", help: "Deque items discarded as bound-dominated before expansion.", typ: "counter", series: []series{
 			{val: float64(s.PrunedStale)},
 		}},
+		{name: "rulefit_in_flight_requests", help: "Placement requests currently solving.", typ: "gauge", series: []series{
+			{val: float64(s.InFlightRequests)},
+		}},
+		{name: "rulefit_request_queue_depth", help: "Placement requests admitted but waiting for a solve slot.", typ: "gauge", series: []series{
+			{val: float64(s.QueueDepth)},
+		}},
 	}
+	reqFamily := family{name: "rulefit_requests_total", help: "Placement requests by outcome and solver stop reason.", typ: "counter"}
+	for _, rc := range s.Requests {
+		reqFamily.series = append(reqFamily.series, series{
+			labels: fmt.Sprintf(`{status="%s",stop_reason="%s"}`, escapeLabel(rc.Status), escapeLabel(rc.StopReason)),
+			val:    float64(rc.Count),
+		})
+	}
+	families = append(families, reqFamily)
+	families = append(families, histFamilies("rulefit_solve_wall_seconds", "Distribution of per-solve wall time (seconds).", s.SolveWallHist)...)
+	families = append(families, histFamilies("rulefit_solve_nodes", "Distribution of branch & bound nodes per solve.", s.SolveNodesHist)...)
+	families = append(families, histFamilies("rulefit_solve_simplex_iters", "Distribution of simplex iterations per solve.", s.SolveItersHist)...)
+	families = append(families, histFamilies("rulefit_installed_rules", "Distribution of installed TCAM slots per placement.", s.InstalledRules)...)
+
 	for _, f := range families {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name); err != nil {
-			return err
+		if f.typ != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+				return err
+			}
 		}
-		for _, series := range f.series {
-			if _, err := fmt.Fprintf(w, "%s%s %g\n", f.name, series.labels, series.val); err != nil {
+		for _, sr := range f.series {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, sr.labels, promFloat(sr.val)); err != nil {
 				return err
 			}
 		}

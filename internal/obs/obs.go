@@ -82,6 +82,10 @@ const (
 // from determinism comparisons (see Normalize).
 type Event struct {
 	Kind string `json:"kind"`
+	// TraceID joins the event to the request that produced it (see
+	// RequestCtx and Tag). Empty for unscoped solves. Deterministic —
+	// included in determinism comparisons.
+	TraceID string `json:"trace_id,omitempty"`
 	// Node is the 1-based id of the node (KindNode/KindIncumbent), or
 	// the nodes-so-far count (KindGap/KindDone).
 	Node int `json:"node"`

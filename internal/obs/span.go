@@ -15,11 +15,33 @@ import (
 // serialized by one mutex so parallel workers may share a Trace.
 type Trace struct {
 	mu    sync.Mutex
+	id    string
 	roots []*Span
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace { return &Trace{} }
+
+// SetID attaches a trace ID (rendered as a header line and used to
+// join spans with solver events and log lines). No-op on nil.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the attached trace ID ("" for nil or unset).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
 
 // Span starts a new top-level span. Returns nil (a safe no-op span)
 // when the trace itself is nil.
@@ -53,6 +75,9 @@ func (t *Trace) Render() string {
 	var sb strings.Builder
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.id != "" {
+		fmt.Fprintf(&sb, "trace %s\n", t.id)
+	}
 	for _, sp := range t.roots {
 		sp.render(&sb, 0)
 	}

@@ -5,6 +5,7 @@
 package spec
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -139,6 +140,12 @@ func Load(r io.Reader) (*Problem, error) {
 		return nil, fmt.Errorf("spec: %w", err)
 	}
 	return &p, nil
+}
+
+// LoadBytes reads a JSON problem description from a byte slice (the
+// wire form the placement daemon receives).
+func LoadBytes(data []byte) (*Problem, error) {
+	return Load(bytes.NewReader(data))
 }
 
 // LoadFile reads a JSON problem description from a file.

@@ -49,6 +49,13 @@ go test -race -run 'Trace|Determin' ./internal/ilp/ ./internal/core/ ./internal/
 step "observability: disabled-sink overhead gate"
 go test -run TestDisabledSinkOverheadSmoke ./internal/ilp/ || fail=1
 
+step "daemon: build + e2e (race)"
+go build ./cmd/ruleplaced ./cmd/benchdiff || fail=1
+go test -race ./internal/daemon/ || fail=1
+
+step "benchdiff gate (baseline vs itself must be clean)"
+go run ./cmd/benchdiff BENCH_20260805T141853Z.json BENCH_20260805T141853Z.json || fail=1
+
 if [ "$mode" != "quick" ]; then
     step "go test -race"
     go test -race ./... || fail=1
