@@ -7,10 +7,16 @@
 //
 // The vettool mode implements the subset of the cmd/vet unitchecker
 // protocol that cmd/go drives: answer -V=full with a version line,
-// accept a single *.cfg argument describing one package, emit an (empty)
-// facts file, and report diagnostics on stderr with a non-zero exit.
+// accept a single *.cfg argument describing one package, read the
+// dependency fact files named by PackageVetx, write this unit's
+// (merged) fact set to VetxOutput, and report diagnostics on stderr
+// with a non-zero exit. Facts are how the dataflow analyzers
+// (detsource, sinkguard) see across package boundaries; cmd/go caches
+// the .vetx files alongside export data.
 //
 // Analyzers can be disabled individually, e.g. -floatcmp=false.
+// -json prints findings as a JSON array instead of plain lines
+// (standalone mode).
 package main
 
 import (
@@ -26,21 +32,28 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"rulefit/internal/analysis"
+	"rulefit/internal/analysis/detsource"
 	"rulefit/internal/analysis/errcheck"
 	"rulefit/internal/analysis/floatcmp"
 	"rulefit/internal/analysis/mapdet"
 	"rulefit/internal/analysis/optzero"
+	"rulefit/internal/analysis/sharedmut"
+	"rulefit/internal/analysis/sinkguard"
 )
 
 // suite is the full analyzer set, in report order.
 var suite = []*analysis.Analyzer{
+	detsource.Analyzer,
 	errcheck.Analyzer,
 	floatcmp.Analyzer,
 	mapdet.Analyzer,
 	optzero.Analyzer,
+	sharedmut.Analyzer,
+	sinkguard.Analyzer,
 }
 
 func main() {
@@ -82,6 +95,7 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("rulefitlint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array (standalone mode)")
 	enabled := make(map[string]*bool, len(suite))
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -106,11 +120,20 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVetTool(rest[0], active)
 	}
-	return runStandalone(rest, active)
+	return runStandalone(rest, active, *jsonOut)
+}
+
+// finding is one diagnostic in -json output.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // runStandalone lints the packages matching the patterns (default ./...).
-func runStandalone(patterns []string, active []*analysis.Analyzer) int {
+func runStandalone(patterns []string, active []*analysis.Analyzer, jsonOut bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -124,8 +147,21 @@ func runStandalone(patterns []string, active []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "rulefitlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Category, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "rulefitlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		return 1
@@ -142,6 +178,7 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
@@ -160,25 +197,56 @@ func runVetTool(cfgPath string, active []*analysis.Analyzer) int {
 		fmt.Fprintf(os.Stderr, "rulefitlint: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	// Facts protocol: always produce the output file, even though this
-	// suite exports no facts.
+	// Facts protocol: seed the store with every dependency's .vetx file,
+	// run the analyzers (even for VetxOnly units — importers need the
+	// facts this unit exports), and write the merged set back out.
+	facts := analysis.NewFactSet()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			// A dependency outside the vet run (or an older cmd/go that
+			// never wrote it): analyze without its facts.
+			continue
+		}
+		dep, err := analysis.DecodeFactSet(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rulefitlint: facts of %s: %v\n", path, err)
+			return 2
+		}
+		facts.Merge(dep)
+	}
+
+	diags, err := lintVetUnit(cfg, active, facts)
+	if err != nil {
+		if cfg.VetxOutput != "" {
+			// Still satisfy the protocol so cmd/go does not fail the
+			// importers on a missing file.
+			_ = os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "rulefitlint:", err)
+		return 2
+	}
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+		wire, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rulefitlint:", err)
+			return 2
+		}
+		if err := os.WriteFile(cfg.VetxOutput, wire, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, "rulefitlint:", err)
 			return 2
 		}
 	}
 	if cfg.VetxOnly {
 		return 0
-	}
-
-	diags, err := lintVetUnit(cfg, active)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintln(os.Stderr, "rulefitlint:", err)
-		return 2
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
@@ -190,8 +258,9 @@ func runVetTool(cfgPath string, active []*analysis.Analyzer) int {
 }
 
 // lintVetUnit parses and type-checks the unit's files using the export
-// data cmd/go already compiled, then runs the analyzers.
-func lintVetUnit(cfg vetConfig, active []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+// data cmd/go already compiled, then runs the analyzers against the
+// given fact store (pre-seeded with dependency facts).
+func lintVetUnit(cfg vetConfig, active []*analysis.Analyzer, facts *analysis.FactSet) ([]analysis.Diagnostic, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
@@ -243,5 +312,5 @@ func lintVetUnit(cfg vetConfig, active []*analysis.Analyzer) ([]analysis.Diagnos
 		Types:      tpkg,
 		Info:       info,
 	}
-	return analysis.RunAnalyzers([]*analysis.Package{pkg}, active)
+	return analysis.RunAnalyzersFacts([]*analysis.Package{pkg}, active, facts)
 }

@@ -33,6 +33,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by -help.
 	Doc string
+	// FactTypes lists the fact types the analyzer exports and imports
+	// (each entry a typed nil pointer, e.g. (*ReturnsTaint)(nil)).
+	// Declaring them documents the analyzer's cross-package surface.
+	FactTypes []Fact
 	// Run applies the check to one package, reporting findings through
 	// the pass.
 	Run func(*Pass) error
@@ -45,6 +49,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts is the run-wide fact store (see facts.go). The driver sets
+	// it; packages are analyzed in dependency order so facts exported
+	// by an imported package are visible here.
+	Facts *FactSet
 
 	// Report receives each diagnostic. The driver sets it.
 	Report func(Diagnostic)
@@ -153,9 +162,19 @@ func NamedFrom(t types.Type, pkgPath, name string) bool {
 
 // RunAnalyzers applies each analyzer to each package, returning all
 // diagnostics in deterministic (file, line, column, analyzer) order.
+// Packages are visited in dependency order with a fresh shared fact
+// store, so facts exported while analyzing a package are visible when
+// its importers are analyzed.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersFacts(pkgs, analyzers, NewFactSet())
+}
+
+// RunAnalyzersFacts is RunAnalyzers with a caller-provided fact store,
+// which may be pre-seeded with facts decoded from dependency .vetx
+// files (go vet mode) and afterwards holds every fact the run exported.
+func RunAnalyzersFacts(pkgs []*Package, analyzers []*Analyzer, facts *FactSet) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range dependencyOrder(pkgs) {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -163,6 +182,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 				Report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
@@ -172,6 +192,39 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	}
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// dependencyOrder sorts packages so every package follows the packages
+// it imports (restricted to the given set). Ties keep the input order,
+// so output is deterministic for a deterministic loader.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			// Import cycles cannot occur in valid Go; "visiting" is
+			// only reachable through one and is simply cut.
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // sortDiagnostics orders findings by (file, line, column, analyzer).

@@ -38,22 +38,40 @@ func TestData() string {
 
 // Run loads testdata/src/<pkg> for each named fixture package, applies
 // the analyzer, and reports mismatches against // want annotations.
+//
+// All named packages are loaded and analyzed together in one run, in
+// dependency order with a shared fact store — so a fixture package may
+// import another (by its full in-repo path under testdata/src) and
+// expectations in the importer can depend on facts exported while
+// analyzing the imported package. Diagnostics are checked against the
+// union of every named package's want annotations.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	for _, name := range pkgs {
-		dir := filepath.Join(testdata, "src", name)
-		loaded, err := analysis.Load(dir, ".")
-		if err != nil {
-			t.Errorf("%s: loading fixture: %v", name, err)
-			continue
-		}
-		diags, err := analysis.RunAnalyzers(loaded, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Errorf("%s: running %s: %v", name, a.Name, err)
-			continue
-		}
-		checkWants(t, dir, diags)
+	root := filepath.Join(testdata, "src")
+	patterns := make([]string, len(pkgs))
+	for i, name := range pkgs {
+		patterns[i] = "./" + name
 	}
+	loaded, err := analysis.Load(root, patterns...)
+	if err != nil {
+		t.Errorf("loading fixtures %v: %v", pkgs, err)
+		return
+	}
+	diags, err := analysis.RunAnalyzers(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Errorf("running %s on %v: %v", a.Name, pkgs, err)
+		return
+	}
+	var wants []*want
+	for _, name := range pkgs {
+		ws, err := parseWants(filepath.Join(root, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		wants = append(wants, ws...)
+	}
+	checkWants(t, diags, wants)
 }
 
 // want is one expectation parsed from a fixture comment.
@@ -64,15 +82,9 @@ type want struct {
 	hit  bool
 }
 
-// checkWants compares diagnostics in dir against the fixtures' // want
-// comments.
-func checkWants(t *testing.T, dir string, diags []analysis.Diagnostic) {
+// checkWants compares diagnostics against want expectations.
+func checkWants(t *testing.T, diags []analysis.Diagnostic, wants []*want) {
 	t.Helper()
-	wants, err := parseWants(dir)
-	if err != nil {
-		t.Errorf("%s: %v", dir, err)
-		return
-	}
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {

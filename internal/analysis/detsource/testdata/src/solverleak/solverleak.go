@@ -1,0 +1,30 @@
+// Fixture: a deliberate map-order leak seeded into a solver-shaped
+// return path — the exact bug class detsource exists to catch. Place
+// mirrors core.Place's extraction loop: assignment rows collected from
+// a map and returned in a serialized placement.
+package solverleak
+
+type Placement struct {
+	Assign [][]int `json:"assign"`
+}
+
+// Place builds the placement rows by ranging the map directly instead
+// of the sorted-keys idiom: row order is randomized per run.
+func Place(byFlow map[int][]int) Placement {
+	var assign [][]int
+	for _, paths := range byFlow {
+		assign = append(assign, paths)
+	}
+	return Placement{
+		Assign: assign, // want "serialized field Placement.Assign"
+	}
+}
+
+// PlaceRows leaks the same order through a plain exported return.
+func PlaceRows(byFlow map[int][]int) [][]int {
+	var rows [][]int
+	for _, paths := range byFlow {
+		rows = append(rows, paths)
+	}
+	return rows // want "derived from map iteration order"
+}

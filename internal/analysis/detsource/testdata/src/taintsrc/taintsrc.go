@@ -1,0 +1,24 @@
+// Fixture: the taint-originating half of the cross-package pair. The
+// exported functions here carry ReturnsTaint facts that the taintuse
+// package imports through the export-data boundary.
+package taintsrc
+
+import "time"
+
+var start = time.Now()
+
+// Clock returns a wall-clock reading. Returning it is fine (no report
+// here); serializing it in a caller is not.
+func Clock() float64 {
+	return float64(time.Since(start).Milliseconds())
+}
+
+// Keys leaks map iteration order: reported here and recorded as a
+// fact for importers.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want "derived from map iteration order"
+}

@@ -1,0 +1,35 @@
+// Fixture: the taint-consuming half of the cross-package pair — every
+// finding below is caused by taint that originated in taintsrc and
+// traveled here as a ReturnsTaint fact.
+package taintuse
+
+import (
+	"sort"
+
+	"rulefit/internal/analysis/detsource/testdata/src/taintsrc"
+)
+
+type Snapshot struct {
+	Names []string `json:"names"`
+	MS    float64  `json:"ms"`
+}
+
+// Names relays map-ordered data across the package boundary.
+func Names(m map[string]int) []string {
+	return taintsrc.Keys(m) // want "derived from map iteration order"
+}
+
+// Sample serializes both imported taints.
+func Sample(m map[string]int) Snapshot {
+	return Snapshot{
+		Names: taintsrc.Keys(m), // want "serialized field Snapshot.Names"
+		MS:    taintsrc.Clock(), // want "serialized field Snapshot.MS"
+	}
+}
+
+// SortedNames sanitizes the imported order taint before returning.
+func SortedNames(m map[string]int) []string {
+	names := taintsrc.Keys(m)
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,270 @@
+package analysis
+
+// Facts: cross-package dataflow summaries, mirroring the
+// golang.org/x/tools/go/analysis fact model on top of the local
+// framework.
+//
+// A Fact is a serializable statement an analyzer attaches to a
+// package-level object (function, method, var, type, const) or to a
+// package as a whole while analyzing the package that declares it.
+// When the driver later analyzes a package that imports the declaring
+// one, the same analyzer can import the fact and act on it — this is
+// how taint discovered inside one package reaches report sites in
+// another.
+//
+// Facts are keyed by stable object keys (see ObjectKey) rather than by
+// types.Object identity, because an object seen through compiler
+// export data is a distinct types.Object from the one created when its
+// declaring package was type-checked from source. Every exported fact
+// is round-tripped through encoding/gob at export time, so a fact that
+// cannot survive serialization fails fast, and the in-memory and
+// vet-tool (.vetx file) paths exercise the same encoding.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is the marker interface for analyzer facts. Implementations
+// must be pointers to gob-encodable structs with exported fields.
+type Fact interface {
+	// AFact is a no-op marker method.
+	AFact()
+}
+
+// ObjectKey returns the stable cross-package key for a package-level
+// object or method: "pkgpath.Name" for package-level declarations,
+// "pkgpath.Type.Method" for methods (pointer receivers are stripped).
+// Objects that cannot carry facts (locals, fields, universe names) map
+// to "".
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	pkg := obj.Pkg().Path()
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if !ok {
+			return ""
+		}
+		if recv := sig.Recv(); recv != nil {
+			t := recv.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return ""
+			}
+			return pkg + "." + named.Obj().Name() + "." + o.Name()
+		}
+		return pkg + "." + o.Name()
+	case *types.Var, *types.TypeName, *types.Const:
+		if obj.Parent() == obj.Pkg().Scope() {
+			return pkg + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// factKey identifies one stored fact.
+type factKey struct {
+	Analyzer string
+	// Object is an ObjectKey, or "pkg:<path>" for package facts.
+	Object string
+	// Type is the reflected Go type of the fact value.
+	Type string
+}
+
+// FactSet is the driver's fact store, shared across packages and
+// analyzers for one lint run. The zero value is not usable; call
+// NewFactSet.
+type FactSet struct {
+	m map[factKey][]byte
+}
+
+// NewFactSet returns an empty store.
+func NewFactSet() *FactSet {
+	return &FactSet{m: make(map[factKey][]byte)}
+}
+
+// Len returns the number of stored facts.
+func (s *FactSet) Len() int { return len(s.m) }
+
+// put encodes and stores one fact, reporting whether the stored bytes
+// changed (used by analyzers running to a fixpoint).
+func (s *FactSet) put(analyzer, object string, fact Fact) (changed bool, err error) {
+	data, err := encodeFact(fact)
+	if err != nil {
+		return false, err
+	}
+	key := factKey{analyzer, object, factType(fact)}
+	if prev, ok := s.m[key]; ok && bytes.Equal(prev, data) {
+		return false, nil
+	}
+	s.m[key] = data
+	return true, nil
+}
+
+// get decodes a stored fact into the given pointer.
+func (s *FactSet) get(analyzer, object string, fact Fact) bool {
+	data, ok := s.m[factKey{analyzer, object, factType(fact)}]
+	if !ok {
+		return false
+	}
+	return decodeFact(data, fact) == nil
+}
+
+// wireFact is the serialized form of one fact.
+type wireFact struct {
+	Analyzer string
+	Object   string
+	Type     string
+	Data     []byte
+}
+
+// Encode serializes the whole set deterministically (sorted by key),
+// for .vetx fact files in the go vet unitchecker protocol.
+func (s *FactSet) Encode() ([]byte, error) {
+	wire := make([]wireFact, 0, len(s.m))
+	//lint:mapdet wire is sorted below before encoding
+	for k, data := range s.m {
+		wire = append(wire, wireFact{k.Analyzer, k.Object, k.Type, data})
+	}
+	sort.Slice(wire, func(i, j int) bool {
+		a, b := wire[i], wire[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Type < b.Type
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFactSet reconstructs a set from Encode output. Empty input
+// (the facts file of a run that exported nothing) yields an empty set.
+func DecodeFactSet(data []byte) (*FactSet, error) {
+	s := NewFactSet()
+	if len(data) == 0 {
+		return s, nil
+	}
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("analysis: decoding facts: %v", err)
+	}
+	for _, w := range wire {
+		s.m[factKey{w.Analyzer, w.Object, w.Type}] = w.Data
+	}
+	return s, nil
+}
+
+// Merge copies every fact from other into s (other wins on collision).
+func (s *FactSet) Merge(other *FactSet) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.m {
+		s.m[k] = v
+	}
+}
+
+// Keys returns the sorted "analyzer\x00object\x00type" key strings, for
+// tests asserting which facts a run produced.
+func (s *FactSet) Keys() []string {
+	out := make([]string, 0, len(s.m))
+	//lint:mapdet sorted before return
+	for k := range s.m {
+		out = append(out, k.Analyzer+"\x00"+k.Object+"\x00"+k.Type)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// factType names the concrete fact type.
+func factType(fact Fact) string {
+	return reflect.TypeOf(fact).String()
+}
+
+// encodeFact gob-encodes the value the fact pointer refers to.
+func encodeFact(fact Fact) ([]byte, error) {
+	v := reflect.ValueOf(fact)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return nil, fmt.Errorf("fact %T must be a non-nil pointer", fact)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(v.Elem()); err != nil {
+		return nil, fmt.Errorf("fact %T is not gob-encodable: %v", fact, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeFact fills the fact pointer from gob bytes.
+func decodeFact(data []byte, fact Fact) error {
+	v := reflect.ValueOf(fact)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		return fmt.Errorf("fact %T must be a non-nil pointer", fact)
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).DecodeValue(v.Elem())
+}
+
+// ExportObjectFact attaches fact to obj for this pass's analyzer.
+// Facts attach only to package-level objects and methods; calls for
+// other objects are silently dropped (matching ObjectKey). Reports
+// whether the stored fact changed, so summary analyzers can iterate to
+// a fixpoint. Panics if the fact does not serialize: facts must
+// survive the export-data boundary to mean anything.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) bool {
+	key := ObjectKey(obj)
+	if key == "" || p.Facts == nil {
+		return false
+	}
+	changed, err := p.Facts.put(p.Analyzer.Name, key, fact)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: %s: %v", p.Analyzer.Name, err))
+	}
+	return changed
+}
+
+// ImportObjectFact fills fact with the stored fact for obj, which may
+// have been exported while analyzing this package or any package this
+// one imports (directly or transitively).
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	key := ObjectKey(obj)
+	if key == "" || p.Facts == nil {
+		return false
+	}
+	return p.Facts.get(p.Analyzer.Name, key, fact)
+}
+
+// ExportPackageFact attaches fact to the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) bool {
+	if p.Facts == nil || p.Pkg == nil {
+		return false
+	}
+	changed, err := p.Facts.put(p.Analyzer.Name, "pkg:"+p.Pkg.Path(), fact)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: %s: %v", p.Analyzer.Name, err))
+	}
+	return changed
+}
+
+// ImportPackageFact fills fact with the package fact stored for the
+// package with the given import path.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.get(p.Analyzer.Name, "pkg:"+path, fact)
+}

@@ -20,10 +20,13 @@ import (
 type Package struct {
 	ImportPath string
 	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
+	// Imports lists imported package paths (the driver uses it to
+	// order analysis so fact producers run before consumers).
+	Imports []string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
 }
 
 // listedPackage is the subset of `go list -json` output the loader uses.
@@ -31,6 +34,7 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
@@ -149,6 +153,7 @@ func typeCheck(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Pack
 	return &Package{
 		ImportPath: lp.ImportPath,
 		Dir:        lp.Dir,
+		Imports:    lp.Imports,
 		Fset:       fset,
 		Files:      files,
 		Types:      tpkg,

@@ -1,0 +1,423 @@
+// Package sharedmut flags shared-mutation hazards that the race
+// detector only catches when the losing interleaving actually runs:
+//
+//   - goroutines launched inside a loop that capture a variable written
+//     by the loop (the capture races with the next iteration's write, or
+//     sibling goroutines race with each other);
+//   - plain (unsynchronized) writes to struct fields that are accessed
+//     under a sync.Mutex/RWMutex elsewhere in the package;
+//   - plain writes to struct fields that are accessed through sync/atomic
+//     elsewhere (mixing atomic and non-atomic access is undefined);
+//   - sends on a channel after a close(ch) earlier in the same function.
+//
+// The mutex check is positional: a field access is "guarded" when it
+// sits between a Lock/RLock call statement and the next Unlock/RUnlock
+// (a deferred unlock guards to the end of the function). Functions that
+// write fields of values they created locally (constructors — the value
+// is not yet shared) are exempt.
+//
+// Intentional exceptions — e.g. a helper documented "caller holds mu" —
+// are annotated
+//
+//	//lint:sharedmut <why the access cannot race>
+package sharedmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rulefit/internal/analysis"
+)
+
+// Analyzer flags shared-mutation hazards.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedmut",
+	Doc:  "flags goroutine loop-variable capture, unsynchronized writes to mutex- or atomic-guarded fields, and sends after close",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	guarded, atomics := collectGuardedFields(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLoopCapture(pass, fd)
+			checkFieldWrites(pass, fd, guarded, atomics)
+			checkSendAfterClose(pass, fd)
+		}
+	}
+	return nil
+}
+
+// span is a half-open source-position interval [start, end).
+type span struct{ start, end token.Pos }
+
+func inSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s.start && pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// collectGuardedFields scans every function in the package and returns
+// the set of same-package struct fields accessed inside mutex regions
+// and the set accessed through sync/atomic calls. Keys are
+// "TypeName.fieldName".
+func collectGuardedFields(pass *analysis.Pass) (guarded, atomics map[string]bool) {
+	guarded = make(map[string]bool)
+	atomics = make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			regions := lockRegions(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					if len(regions) == 0 || !inSpans(regions, e.Pos()) {
+						return true
+					}
+					if key := fieldKey(pass, e); key != "" {
+						guarded[key] = true
+					}
+				case *ast.CallExpr:
+					if !isAtomicCall(pass, e) {
+						return true
+					}
+					for _, arg := range e.Args {
+						u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || u.Op != token.AND {
+							continue
+						}
+						if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+							if key := fieldKey(pass, sel); key != "" {
+								atomics[key] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return guarded, atomics
+}
+
+// lockRegions returns the positional mutex-held intervals of a function
+// body: each Lock/RLock statement opens a region closed by the next
+// Unlock/RUnlock statement after it, or by the end of the body when the
+// next unlock is deferred (or absent).
+func lockRegions(pass *analysis.Pass, body *ast.BlockStmt) []span {
+	type unlockEvent struct {
+		pos      token.Pos
+		deferred bool
+	}
+	var locks []token.Pos
+	var unlocks []unlockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch syncMethod(pass, call) {
+			case "Lock", "RLock":
+				locks = append(locks, st.Pos())
+			case "Unlock", "RUnlock":
+				unlocks = append(unlocks, unlockEvent{st.Pos(), false})
+			}
+		case *ast.DeferStmt:
+			switch syncMethod(pass, st.Call) {
+			case "Unlock", "RUnlock":
+				unlocks = append(unlocks, unlockEvent{st.Pos(), true})
+			}
+		}
+		return true
+	})
+	var out []span
+	for _, l := range locks {
+		end := body.End()
+		var first *unlockEvent
+		for i := range unlocks {
+			u := &unlocks[i]
+			if u.pos > l && (first == nil || u.pos < first.pos) {
+				first = u
+			}
+		}
+		if first != nil && !first.deferred {
+			end = first.pos
+		}
+		out = append(out, span{l, end})
+	}
+	return out
+}
+
+// syncMethod returns the method name when call is a method of package
+// sync (Mutex/RWMutex Lock, Unlock, ... — including promoted embedded
+// mutexes), else "".
+func syncMethod(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic
+// (the package-level Add/Load/Store/Swap family; the typed atomic.Int64
+// etc. are safe by construction and irrelevant here).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// fieldKey returns "TypeName.fieldName" for a selection of a field of a
+// named struct type declared in this package, else "".
+func fieldKey(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil || tn.Pkg() != pass.Pkg {
+		return ""
+	}
+	return tn.Name() + "." + s.Obj().Name()
+}
+
+// checkFieldWrites reports plain writes to fields that are guarded or
+// atomic elsewhere, unless the write is itself inside a mutex region or
+// targets a value created locally (constructor-exclusive writes).
+func checkFieldWrites(pass *analysis.Pass, fd *ast.FuncDecl, guarded, atomics map[string]bool) {
+	regions := lockRegions(pass, fd.Body)
+	report := func(sel *ast.SelectorExpr, pos token.Pos) {
+		key := fieldKey(pass, sel)
+		if key == "" {
+			return
+		}
+		if !guarded[key] && !atomics[key] {
+			return
+		}
+		if inSpans(regions, pos) || localBase(pass, fd, sel.X) {
+			return
+		}
+		if atomics[key] {
+			pass.Reportf(pos, "plain write to %s, which is accessed via sync/atomic elsewhere; use the atomic API for every access", key)
+			return
+		}
+		pass.Reportf(pos, "unsynchronized write to %s, which is guarded by a mutex elsewhere; hold the lock or annotate //lint:sharedmut with why this cannot race", key)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					report(sel, st.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(st.X).(*ast.SelectorExpr); ok {
+				report(sel, st.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// localBase reports whether the base expression bottoms out in a
+// variable declared inside this function's body — a value that cannot
+// yet be shared with another goroutine through this name.
+func localBase(pass *analysis.Pass, fd *ast.FuncDecl, expr ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			return obj != nil && obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+		default:
+			return false
+		}
+	}
+}
+
+// checkLoopCapture reports goroutines launched inside a loop whose
+// function literal captures a variable that the loop writes and that is
+// declared outside the loop (per-iteration loop variables are fresh per
+// iteration and safe to capture).
+func checkLoopCapture(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var loop ast.Node
+		var body *ast.BlockStmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loop, body = l, l.Body
+		case *ast.RangeStmt:
+			loop, body = l, l.Body
+		default:
+			return true
+		}
+		written := writtenVars(pass, loop)
+		ast.Inspect(body, func(m ast.Node) bool {
+			switch g := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				// Nested loops are visited as their own loop node; the
+				// innermost loop owns the goroutines it contains.
+				if m != body {
+					return false
+				}
+			case *ast.GoStmt:
+				fl, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				reportCaptured(pass, g, fl, loop, written)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// reportCaptured reports each free variable of the goroutine's function
+// literal that is declared outside the loop yet written inside it.
+func reportCaptured(pass *analysis.Pass, g *ast.GoStmt, fl *ast.FuncLit, loop ast.Node, written map[types.Object]bool) {
+	seen := make(map[types.Object]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End() {
+			return true // declared in the loop (or the literal itself): fresh per iteration
+		}
+		if !written[obj] {
+			return true
+		}
+		seen[obj] = true
+		pass.Reportf(g.Pos(), "goroutine launched per loop iteration captures %q, which is written inside the loop; pass it as an argument or synchronize access", obj.Name())
+		return true
+	})
+}
+
+// writtenVars collects the objects assigned anywhere within the loop,
+// including loop variables re-bound by `for x = range ...`.
+func writtenVars(pass *analysis.Pass, loop ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(expr ast.Expr) {
+		if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	if rs, ok := loop.(*ast.RangeStmt); ok && rs.Tok == token.ASSIGN {
+		if rs.Key != nil {
+			mark(rs.Key)
+		}
+		if rs.Value != nil {
+			mark(rs.Value)
+		}
+	}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(st.X)
+		}
+		return true
+	})
+	return out
+}
+
+// checkSendAfterClose reports sends on a channel positioned after a
+// close of the same channel variable in the same function.
+func checkSendAfterClose(pass *analysis.Pass, fd *ast.FuncDecl) {
+	closedAt := make(map[types.Object]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "close" || len(call.Args) != 1 {
+			return true
+		}
+		if obj := identObj(pass, call.Args[0]); obj != nil {
+			if _, dup := closedAt[obj]; !dup {
+				closedAt[obj] = call.Pos()
+			}
+		}
+		return true
+	})
+	if len(closedAt) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ss, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		obj := identObj(pass, ss.Chan)
+		if obj == nil {
+			return true
+		}
+		if pos, closed := closedAt[obj]; closed && pos < ss.Pos() {
+			pass.Reportf(ss.Pos(), "send on %q after close(%s) earlier in this function panics at run time", obj.Name(), obj.Name())
+		}
+		return true
+	})
+}
+
+// identObj resolves a bare (possibly parenthesized) identifier to its
+// object, else nil.
+func identObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}

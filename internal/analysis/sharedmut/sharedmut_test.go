@@ -1,0 +1,12 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"rulefit/internal/analysis/analysistest"
+	"rulefit/internal/analysis/sharedmut"
+)
+
+func TestSharedMut(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sharedmut.Analyzer, "a")
+}

@@ -1,0 +1,114 @@
+// Fixture for sharedmut: mutex-guarded field writes, atomic/plain
+// mixing, goroutine loop captures, and sends after close.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter guards n with mu — except in Reset, which forgot the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Reset() {
+	c.n = 0 // want "unsynchronized write to Counter.n"
+}
+
+// NewCounter writes n before the value escapes: constructor-exclusive
+// writes are exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// resetLocked documents its contract; the annotation records it.
+func (c *Counter) resetLocked() {
+	//lint:sharedmut caller holds c.mu
+	c.n = 0
+}
+
+// Gauge mixes atomic and plain access to hits; cold is plain-only and
+// therefore fine.
+type Gauge struct {
+	hits int64
+	cold int64
+}
+
+func (g *Gauge) Hit() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+func (g *Gauge) Zero() {
+	g.hits = 0 // want "plain write to Gauge.hits"
+	g.cold = 0
+}
+
+// Launch shares total across all spawned goroutines.
+func Launch(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		go func() { // want "captures \\\"total\\\""
+			total += x
+		}()
+	}
+	return total
+}
+
+// LaunchShared re-binds i (declared outside the loop) every iteration.
+func LaunchShared(xs []int, use func(int)) {
+	i := 0
+	for i = range xs {
+		go func() { // want "captures \\\"i\\\""
+			use(i)
+		}()
+	}
+}
+
+// LaunchArg passes the loop state in as arguments: clean.
+func LaunchArg(xs []int, use func(int)) {
+	for _, x := range xs {
+		go func(x int) {
+			use(x)
+		}(x)
+	}
+}
+
+// LaunchFresh captures only per-iteration loop variables: clean under
+// go 1.22 per-iteration semantics.
+func LaunchFresh(xs []int, use func(int)) {
+	for _, x := range xs {
+		go func() {
+			use(x)
+		}()
+	}
+}
+
+// SendClosed sends after closing: run-time panic.
+func SendClosed() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "send on \\\"ch\\\" after close"
+}
+
+// SendThenClose is the correct order.
+func SendThenClose() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}

@@ -1,0 +1,19 @@
+package sinkguard_test
+
+import (
+	"testing"
+
+	"rulefit/internal/analysis/analysistest"
+	"rulefit/internal/analysis/sinkguard"
+)
+
+func TestSinkGuard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sinkguard.Analyzer, "a")
+}
+
+// TestSinkGuardCrossPackage checks that GuardedIface, NilSafe and
+// RequiresGuard facts exported while analyzing sinkdef constrain call
+// sites in sinkuse.
+func TestSinkGuardCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sinkguard.Analyzer, "sinkdef", "sinkuse")
+}

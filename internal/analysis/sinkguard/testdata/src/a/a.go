@@ -1,0 +1,113 @@
+// Fixture for sinkguard: guarded-interface calls, implicit and
+// declared forwarders, early-out guards, and the nil-safe contract
+// with its cheap-arguments rule.
+package a
+
+// Sink is an optional event receiver.
+//
+//lint:sinkguard-iface values may be nil when tracing is off
+type Sink interface {
+	Event(msg string)
+}
+
+// Emitter mirrors the solver shape: an optional sink field, an
+// unexported forwarder, guarded call sites.
+type Emitter struct {
+	sink Sink
+}
+
+// emit forwards unguarded by contract; callers hold the nil check.
+func (e *Emitter) emit(msg string) {
+	e.sink.Event(msg)
+}
+
+// Step guards before forwarding: clean.
+func (e *Emitter) Step() {
+	if e.sink != nil {
+		e.emit("step")
+	}
+}
+
+// Bad forwards without the guard from an exported method.
+func (e *Emitter) Bad() {
+	e.emit("bad") // want "requires `e.sink != nil`"
+}
+
+// EarlyOut uses the early-return guard form: clean.
+func (e *Emitter) EarlyOut() {
+	if e.sink == nil {
+		return
+	}
+	e.emit("ok")
+	e.sink.Event("direct")
+}
+
+// emitTo is an unexported parameter forwarder.
+func emitTo(s Sink, msg string) {
+	s.Event(msg)
+}
+
+// UseEmitTo guards one call and forgets the other.
+func UseEmitTo(s Sink) {
+	if s != nil {
+		emitTo(s, "x")
+	}
+	emitTo(s, "y") // want "requires `s != nil`"
+}
+
+// Local calls a method on a never-assigned interface value.
+func Local() {
+	var s Sink
+	s.Event("boom") // want "without a nil check on s"
+}
+
+// Publish is a declared forwarder: exported, guard-free by documented
+// contract, so callers carry the nil check.
+//
+//lint:sinkguard-forwarder callers guard s
+func Publish(s Sink, msg string) {
+	s.Event(msg)
+}
+
+// UsePublish must guard the declared forwarder like any other.
+func UsePublish(s Sink) {
+	UsePublishInner(s)
+}
+
+// UsePublishInner demonstrates the exported-without-declaration case.
+func UsePublishInner(s Sink) {
+	Publish(s, "hi") // want "requires `s != nil`"
+}
+
+// Span is a nil-safe tracing handle: exported pointer-receiver methods
+// begin with a nil-receiver guard.
+//
+//lint:nilsafe methods guard the receiver; calls need no nil check
+type Span struct {
+	notes int
+}
+
+// Note is the promise kept.
+func (s *Span) Note(msg string) {
+	if s == nil {
+		return
+	}
+	s.notes++
+	_ = msg
+}
+
+// Bump breaks the promise.
+func (s *Span) Bump() { // want "does not begin with a nil-receiver guard"
+	s.notes++
+}
+
+func expensiveMsg() string { return "built" }
+
+// Use exercises the cheap-arguments rule.
+func Use(sp *Span) {
+	sp.Note("cheap")
+	sp.Note(expensiveMsg()) // want "runs even when sp is nil"
+	if sp != nil {
+		sp.Note(expensiveMsg())
+	}
+}

@@ -1,0 +1,39 @@
+// Fixture: the contract-defining half of the cross-package pair. The
+// interface, the declared forwarder, and the nil-safe type all export
+// facts that sinkuse consumes through the export-data boundary.
+package sinkdef
+
+// Sink is the optional event receiver.
+//
+//lint:sinkguard-iface nil when tracing is disabled
+type Sink interface {
+	Event(msg string)
+}
+
+// Relay wraps a sink for callers in other packages.
+type Relay struct {
+	S Sink
+}
+
+// Emit forwards to the wrapped sink; callers guard.
+//
+//lint:sinkguard-forwarder callers check r.S
+func (r *Relay) Emit(msg string) {
+	r.S.Event(msg)
+}
+
+// Probe is a nil-safe measurement handle.
+//
+//lint:nilsafe every exported method guards the receiver
+type Probe struct {
+	count int
+}
+
+// Tick is the kept promise.
+func (p *Probe) Tick(label string) {
+	if p == nil {
+		return
+	}
+	p.count++
+	_ = label
+}

@@ -1,0 +1,41 @@
+// Fixture: the consuming half of the cross-package pair — every
+// expectation here depends on facts exported while analyzing sinkdef.
+package sinkuse
+
+import (
+	"rulefit/internal/analysis/sinkguard/testdata/src/sinkdef"
+)
+
+// Forward calls the imported declared forwarder with and without the
+// guard the fact demands.
+func Forward(r *sinkdef.Relay) {
+	if r.S != nil {
+		r.Emit("guarded")
+	}
+	r.Emit("bare") // want "requires `r.S != nil`"
+}
+
+// Direct calls a method on the imported guarded interface type.
+func Direct(s sinkdef.Sink) {
+	if s != nil {
+		s.Event("guarded")
+	}
+}
+
+// DirectLocal holds the value in a local, so no forwarder shape saves
+// it.
+func DirectLocal() {
+	var s sinkdef.Sink
+	s.Event("boom") // want "without a nil check on s"
+}
+
+func makeLabel() string { return "label" }
+
+// Measure exercises the imported nil-safe type's cheap-arguments rule.
+func Measure(p *sinkdef.Probe) {
+	p.Tick("cheap")
+	p.Tick(makeLabel()) // want "runs even when p is nil"
+	if p != nil {
+		p.Tick(makeLabel())
+	}
+}

@@ -114,7 +114,8 @@ type SpeedupRecord struct {
 func BuildReport(base Config, ruleCounts, capacities []int, seeds int, workerCounts []int) (*Report, error) {
 	base = base.withDefaults()
 	rep := &Report{
-		Schema:     ReportSchema,
+		Schema: ReportSchema,
+		//lint:detsource run metadata by design; diffs strip the timestamp
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,

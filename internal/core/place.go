@@ -27,8 +27,10 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 		encSp.End()
 		return nil, err
 	}
-	encSp.SetCount("vars", int64(len(enc.vars)))
-	encSp.SetCount("constraints", int64(enc.numConstraints()))
+	if encSp != nil {
+		encSp.SetCount("vars", int64(len(enc.vars)))
+		encSp.SetCount("constraints", int64(enc.numConstraints()))
+	}
 	encSp.End()
 	if enc.infeasibleReason != "" {
 		// The encoding itself proved the instance unsatisfiable (e.g. a
@@ -67,8 +69,10 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 func solveILP(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
 	buildSp := span.Child("model_build")
 	m, ids, zVar := buildILPModel(enc, opts)
-	buildSp.SetCount("vars", int64(m.NumVars()))
-	buildSp.SetCount("constraints", int64(m.NumConstraints()))
+	if buildSp != nil {
+		buildSp.SetCount("vars", int64(m.NumVars()))
+		buildSp.SetCount("constraints", int64(m.NumConstraints()))
+	}
 	buildSp.End()
 	solveSp := span.Child("solve")
 	sol, err := ilp.Solve(m, ilp.Options{

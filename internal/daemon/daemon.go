@@ -506,7 +506,8 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, st requestState)
 		return
 	}
 	resp := PlaceResponse{
-		TraceID:   st.traceID,
+		TraceID: st.traceID,
+		//lint:detsource measured latency is the point of this field
 		WallMS:    float64(wall.Microseconds()) / 1e3,
 		Placement: EncodePlacement(st.placement),
 	}

@@ -71,7 +71,9 @@ func NewHistogram(opts HistogramOpts) *Histogram {
 
 // init sets the layout. Caller holds mu (or has exclusive access).
 func (h *Histogram) init(opts HistogramOpts) {
+	//lint:sharedmut caller holds mu or has exclusive access (see doc)
 	h.bounds = opts.Bounds()
+	//lint:sharedmut caller holds mu or has exclusive access (see doc)
 	h.counts = make([]uint64, len(h.bounds)+1)
 }
 

@@ -136,6 +136,11 @@ func (e Event) Normalize() Event {
 // Events arrive from a single goroutine per solve, but separate
 // concurrent solves may share a sink, so implementations that aggregate
 // must lock (Recorder and JSONLWriter do).
+//
+// A nil Sink means observability is off: hot paths call methods only
+// behind a `!= nil` guard so the fast path stays allocation-free.
+//
+//lint:sinkguard-iface nil when observability is off; guard every call
 type Sink interface {
 	Event(Event)
 }
@@ -166,6 +171,7 @@ type multiSink []Sink
 
 func (m multiSink) Event(e Event) {
 	for _, s := range m {
+		//lint:sinkguard Multi drops nil sinks at construction
 		s.Event(e)
 	}
 }

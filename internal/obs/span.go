@@ -13,6 +13,8 @@ import (
 // including those of the Spans it hands out — are safe on nil
 // receivers, so call sites never need tracing guards, and mutation is
 // serialized by one mutex so parallel workers may share a Trace.
+//
+//lint:nilsafe every exported method begins with a nil-receiver guard
 type Trace struct {
 	mu    sync.Mutex
 	id    string
@@ -88,6 +90,8 @@ func (t *Trace) Render() string {
 // ordered counters, and child spans. Spans are created via Trace.Span
 // or Span.Child and closed with End; timing fields are observational
 // only and excluded from determinism guarantees.
+//
+//lint:nilsafe every exported method begins with a nil-receiver guard
 type Span struct {
 	trace *Trace
 	name  string

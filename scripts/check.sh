@@ -5,9 +5,11 @@
 #   ./scripts/check.sh quick    # skip the race detector pass
 #
 # Steps: gofmt, go vet, the repo's own static-analysis suite
-# (rulefitlint, both standalone and as a vettool), build, tests, the
-# race detector, the rulefitdebug invariant-checked test pass, and a
-# fuzz smoke (each target briefly, mirroring CI's fuzz-smoke job).
+# (rulefitlint — including the cross-package dataflow analyzers
+# detsource/sharedmut/sinkguard — both standalone and as a vettool,
+# where facts travel through .vetx files), build, tests, the race
+# detector, the rulefitdebug invariant-checked test pass, and a fuzz
+# smoke (each target briefly, mirroring CI's fuzz-smoke job).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
