@@ -10,11 +10,14 @@
 //	-scale small   fast sanity pass (default; minutes)
 //	-scale medium  larger fat-trees, longer sweeps
 //	-scale paper   paper-sized parameters (hours; not recommended)
+//	-scale 0.5     paper workload scaled by a factor in (0, 1]
+//	               (keeps the paper's arity; CI's paper-scale smoke)
 //
 // Usage:
 //
 //	experiments [-exp all|1|2|3|4|5|6] [-scale small|medium|paper]
 //	            [-k 4] [-seeds 3] [-backend ilp|sat] [-timeout 60s]
+//	            [-rules 50] [-caps 100]
 //	            [-workers 0] [-parallel 1] [-json out.json]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-trace out.jsonl] [-metrics] [-pprof :6060]
@@ -38,6 +41,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -114,40 +118,80 @@ func presets(scale string, k int, timeout time.Duration, backend core.Backend) (
 			reroutes:   []int{1, 4, 8},
 		}, nil
 	case "paper":
-		base.K = k
-		if base.K == 0 {
-			base.K = 8
-		}
-		base.Ingresses = 128
-		base.PathsPerIngress = 8
-		base.Rules = 100
-		return &preset{
-			base:       base,
-			ruleCounts: []int{20, 30, 40, 50, 60, 70, 80, 90, 100, 110},
-			exp1Caps:   []int{200, 1000},
-			pathCounts: []int{256, 512, 768, 1024, 1280, 1536, 1792, 2048},
-			exp2Caps:   []int{200, 500},
-			mergeRules: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
-			exp3Caps:   []int{65, 70, 75},
-			exp4Caps:   []int{50, 100, 200, 300, 400, 500, 750, 1000},
-			installs:   []int{64, 128, 256},
-			reroutes:   []int{1, 16, 32},
-		}, nil
+		return paperPreset(base, k, 1), nil
 	default:
-		return nil, fmt.Errorf("unknown scale %q", scale)
+		// A numeric scale is a fraction of the paper workload: -scale 0.5
+		// keeps the paper's fat-tree arity but halves the ingress, path,
+		// and rule counts (CI's paper-scale smoke runs one such point).
+		alpha, err := strconv.ParseFloat(scale, 64)
+		if err != nil || alpha <= 0 || alpha > 1 {
+			return nil, fmt.Errorf("invalid -scale %q: want small, medium, paper, or a paper-workload factor in (0, 1]", scale)
+		}
+		return paperPreset(base, k, alpha), nil
 	}
+}
+
+// paperPreset builds the paper-sized sweep scaled by alpha in (0, 1]:
+// the fat-tree arity is kept (the paper's k = 8 topology), while the
+// workload — ingresses, paths, rules, and the swept parameter lists —
+// shrinks proportionally.
+func paperPreset(base bench.Config, k int, alpha float64) *preset {
+	base.K = k
+	if base.K == 0 {
+		base.K = 8
+	}
+	base.Ingresses = scaleInt(128, alpha)
+	base.PathsPerIngress = scaleInt(8, alpha)
+	base.Rules = scaleInt(100, alpha)
+	return &preset{
+		base:       base,
+		ruleCounts: scaleInts([]int{20, 30, 40, 50, 60, 70, 80, 90, 100, 110}, alpha),
+		exp1Caps:   scaleInts([]int{200, 1000}, alpha),
+		pathCounts: scaleInts([]int{256, 512, 768, 1024, 1280, 1536, 1792, 2048}, alpha),
+		exp2Caps:   scaleInts([]int{200, 500}, alpha),
+		mergeRules: scaleInts([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, alpha),
+		exp3Caps:   scaleInts([]int{65, 70, 75}, alpha),
+		exp4Caps:   scaleInts([]int{50, 100, 200, 300, 400, 500, 750, 1000}, alpha),
+		installs:   scaleInts([]int{64, 128, 256}, alpha),
+		reroutes:   scaleInts([]int{1, 16, 32}, alpha),
+	}
+}
+
+// scaleInt rounds v*alpha, clamped to at least 1 so no sweep dimension
+// collapses to zero.
+func scaleInt(v int, alpha float64) int {
+	n := int(math.Round(float64(v) * alpha))
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// scaleInts scales a swept parameter list, deduplicating collisions
+// introduced by the rounding (the list stays sorted: inputs are).
+func scaleInts(vs []int, alpha float64) []int {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		n := scaleInt(v, alpha)
+		if len(out) == 0 || out[len(out)-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func run() error {
 	var (
 		exp        = flag.String("exp", "all", "experiment to run: all, 1, 2, 3, 4, 5, 6")
-		scale      = flag.String("scale", "small", "parameter scale: small, medium, paper")
+		scale      = flag.String("scale", "small", "parameter scale: small, medium, paper, or a paper-workload factor in (0, 1]")
 		k          = flag.Int("k", 0, "override fat-tree arity for -scale paper")
 		seeds      = flag.Int("seeds", 3, "instances per point (the paper uses 5)")
 		backend    = flag.String("backend", "ilp", "solver backend: ilp or sat")
 		timeout    = flag.Duration("timeout", 60*time.Second, "per-solve time limit")
 		csvDir     = flag.String("csv", "", "also write CSV series into this directory")
 		workers    = flag.String("workers", "0", "ILP solver workers per solve; comma-separated list with -json (0 = GOMAXPROCS)")
+		rulesOver  = flag.String("rules", "", "override the Experiment 1 rule-count sweep (comma-separated); CI's paper-scale smoke uses this to run a single Fig. 7 point")
+		capsOver   = flag.String("caps", "", "override the Experiment 1 capacity sweep (comma-separated)")
 		parallel   = flag.Int("parallel", 1, "workload instances solved concurrently per sweep")
 		jsonOut    = flag.String("json", "", "write a machine-readable Experiment 1 report to this file and exit")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -159,6 +203,14 @@ func run() error {
 	flag.Parse()
 
 	workerCounts, err := parseWorkers(*workers)
+	if err != nil {
+		return err
+	}
+	rulesList, err := parseIntList("-rules", *rulesOver)
+	if err != nil {
+		return err
+	}
+	capsList, err := parseIntList("-caps", *capsOver)
 	if err != nil {
 		return err
 	}
@@ -206,6 +258,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if rulesList != nil {
+		p.ruleCounts = rulesList
+	}
+	if capsList != nil {
+		p.exp1Caps = capsList
+	}
 	p.base.Parallel = *parallel
 	p.base.Opts.Workers = workerCounts[0]
 	if *traceOut != "" {
@@ -226,7 +284,7 @@ func run() error {
 	}
 
 	if *jsonOut != "" {
-		rep, err := bench.BuildReport(p.base, p.ruleCounts, p.exp1Caps, *seeds, workerCounts)
+		rep, err := bench.BuildReport(p.base, p.ruleCounts, p.exp1Caps, *seeds, workerCounts, *scale)
 		if err != nil {
 			return err
 		}
@@ -358,6 +416,30 @@ func parseWorkers(s string) ([]int, error) {
 	return out, nil
 }
 
+// parseIntList parses an optional comma-separated list of positive
+// ints, returning nil (no override) for the empty string.
+func parseIntList(name, s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad %s entry %q: want positive integers", name, part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s is empty", name)
+	}
+	return out, nil
+}
+
 // writeCSV emits a series into dir/name when -csv is set.
 func writeCSV(dir, name, xLabel string, series map[int][]bench.Point) error {
 	if dir == "" {
@@ -385,7 +467,10 @@ func exp1Arities(scale string, override int) []int {
 		return []int{4}
 	case "medium":
 		return []int{4, 6, 8}
-	default:
+	case "paper":
 		return []int{8, 16, 32}
+	default:
+		// Numeric scale: one arity, the paper's base topology.
+		return []int{8}
 	}
 }

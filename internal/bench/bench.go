@@ -140,6 +140,13 @@ type Result struct {
 	LostSubtrees     int
 	PrunedStale      int
 	Incumbents       int
+	// CutsAdded/CutRoundsRoot report root cover-cut separation;
+	// StrongBranchEvals counts reliability-branching trials;
+	// WarmStartReuses counts warm-started node LPs.
+	CutsAdded         int
+	CutRoundsRoot     int
+	StrongBranchEvals int
+	WarmStartReuses   int
 	// StopReason says why the search ended early ("none" when the tree
 	// was exhausted). BestBound/Gap carry the proof state for anytime
 	// runs: Gap is 0 for proven optima, positive for time/node-limited
@@ -161,25 +168,29 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Status:           pl.Status,
-		TotalRules:       pl.TotalRules,
-		Time:             time.Since(start),
-		Variables:        pl.Stats.Variables,
-		Constraints:      pl.Stats.Constraints,
-		Nodes:            pl.Stats.BnBNodes,
-		SimplexIters:     pl.Stats.SimplexIters,
-		Workers:          pl.Stats.Workers,
-		LURefactors:      pl.Stats.LURefactors,
-		Branched:         pl.Stats.Branched,
-		PrunedBound:      pl.Stats.PrunedBound,
-		PrunedInfeasible: pl.Stats.PrunedInfeasible,
-		IntegralLeaves:   pl.Stats.IntegralLeaves,
-		LostSubtrees:     pl.Stats.LostSubtrees,
-		PrunedStale:      pl.Stats.PrunedStale,
-		Incumbents:       pl.Stats.Incumbents,
-		StopReason:       pl.Stats.StopReason.String(),
-		BestBound:        pl.Stats.BestBound,
-		Gap:              pl.Stats.Gap,
+		Status:            pl.Status,
+		TotalRules:        pl.TotalRules,
+		Time:              time.Since(start),
+		Variables:         pl.Stats.Variables,
+		Constraints:       pl.Stats.Constraints,
+		Nodes:             pl.Stats.BnBNodes,
+		SimplexIters:      pl.Stats.SimplexIters,
+		Workers:           pl.Stats.Workers,
+		LURefactors:       pl.Stats.LURefactors,
+		Branched:          pl.Stats.Branched,
+		PrunedBound:       pl.Stats.PrunedBound,
+		PrunedInfeasible:  pl.Stats.PrunedInfeasible,
+		IntegralLeaves:    pl.Stats.IntegralLeaves,
+		LostSubtrees:      pl.Stats.LostSubtrees,
+		PrunedStale:       pl.Stats.PrunedStale,
+		Incumbents:        pl.Stats.Incumbents,
+		CutsAdded:         pl.Stats.CutsAdded,
+		CutRoundsRoot:     pl.Stats.CutRoundsRoot,
+		StrongBranchEvals: pl.Stats.StrongBranchEvals,
+		WarmStartReuses:   pl.Stats.WarmStartReuses,
+		StopReason:        pl.Stats.StopReason.String(),
+		BestBound:         pl.Stats.BestBound,
+		Gap:               pl.Stats.Gap,
 	}, nil
 }
 

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // This file implements the perf-regression comparator behind
@@ -78,6 +80,31 @@ type RunDiff struct {
 	NewStatus string `json:"new_status,omitempty"`
 }
 
+// SeriesDiff aggregates the aligned runs of one (workers, capacity)
+// series: summed wall clock, node, and simplex-iteration totals on both
+// sides. Because the solver is deterministic, any node/iteration
+// movement here is algorithmic search drift for the whole series, which
+// reads more easily than per-run noise when many runs drift together.
+type SeriesDiff struct {
+	// Key identifies the series: workers/capacity.
+	Key       string  `json:"key"`
+	Runs      int     `json:"runs"`
+	OldWallMS float64 `json:"old_wall_ms"`
+	NewWallMS float64 `json:"new_wall_ms"`
+	OldNodes  int     `json:"old_nodes"`
+	NewNodes  int     `json:"new_nodes"`
+	OldIters  int     `json:"old_iters"`
+	NewIters  int     `json:"new_iters"`
+	// Geomean is the geometric-mean per-run speedup (old/new wall) over
+	// the series' aligned runs, 0 when undefined.
+	Geomean float64 `json:"geomean,omitempty"`
+}
+
+// Drifted reports whether the series' summed search effort moved.
+func (s SeriesDiff) Drifted() bool {
+	return s.OldNodes != s.NewNodes || s.OldIters != s.NewIters
+}
+
 // Diff is the comparison of two reports.
 type Diff struct {
 	OldTimestamp string      `json:"old_timestamp"`
@@ -85,8 +112,18 @@ type Diff struct {
 	Options      DiffOptions `json:"options"`
 	// HostMismatch warns that the two reports were taken on different
 	// hosts or Go versions, making wall clocks incomparable.
-	HostMismatch bool      `json:"host_mismatch,omitempty"`
-	Runs         []RunDiff `json:"runs"`
+	HostMismatch bool `json:"host_mismatch,omitempty"`
+	// ScaleMismatch warns that the reports were swept at different
+	// cmd/experiments scales; aligned-run keys may match by accident, but
+	// the workloads differ. Only set when both reports record a scale —
+	// reports from before the field existed carry "" and get a softer
+	// note instead.
+	ScaleMismatch bool      `json:"scale_mismatch,omitempty"`
+	OldScale      string    `json:"old_scale,omitempty"`
+	NewScale      string    `json:"new_scale,omitempty"`
+	Runs          []RunDiff `json:"runs"`
+	// Series aggregates aligned runs per (workers, capacity) series.
+	Series []SeriesDiff `json:"series,omitempty"`
 	// Totals by verdict.
 	Improved  int `json:"improved"`
 	Unchanged int `json:"unchanged"`
@@ -98,6 +135,11 @@ type Diff struct {
 	// OldTotalMS/NewTotalMS sum wall clocks over aligned runs only.
 	OldTotalMS float64 `json:"old_total_ms"`
 	NewTotalMS float64 `json:"new_total_ms"`
+	// GeomeanSpeedup is the geometric mean of old/new wall ratios over
+	// all aligned runs (> 1 means the new report is faster); 0 when no
+	// aligned run has comparable wall clocks. Unlike the total, it is not
+	// dominated by the slowest instances.
+	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
 }
 
 // HasRegressions reports whether any aligned run regressed.
@@ -130,6 +172,10 @@ func CompareReports(old, new *Report, opts DiffOptions) *Diff {
 		Options:      opts,
 		HostMismatch: old.GOOS != new.GOOS || old.GOARCH != new.GOARCH ||
 			old.NumCPU != new.NumCPU || old.GoVersion != new.GoVersion,
+		ScaleMismatch: old.Config.Scale != new.Config.Scale &&
+			old.Config.Scale != "" && new.Config.Scale != "",
+		OldScale: old.Config.Scale,
+		NewScale: new.Config.Scale,
 	}
 	oldRuns, newRuns := flatten(old), flatten(new)
 	keys := make([]string, 0, len(oldRuns)+len(newRuns))
@@ -142,6 +188,14 @@ func CompareReports(old, new *Report, opts DiffOptions) *Diff {
 		}
 	}
 	sort.Strings(keys)
+	type seriesAcc struct {
+		SeriesDiff
+		logSum float64
+		ratios int
+	}
+	series := make(map[string]*seriesAcc)
+	var seriesKeys []string
+	logSum, ratios := 0.0, 0
 	for _, k := range keys {
 		o, haveOld := oldRuns[k]
 		n, haveNew := newRuns[k]
@@ -171,6 +225,27 @@ func CompareReports(old, new *Report, opts DiffOptions) *Diff {
 			}
 			d.OldTotalMS += o.WallMS
 			d.NewTotalMS += n.WallMS
+			sk := seriesKeyOf(k)
+			sa := series[sk]
+			if sa == nil {
+				sa = &seriesAcc{SeriesDiff: SeriesDiff{Key: sk}}
+				series[sk] = sa
+				seriesKeys = append(seriesKeys, sk)
+			}
+			sa.Runs++
+			sa.OldWallMS += o.WallMS
+			sa.NewWallMS += n.WallMS
+			sa.OldNodes += o.Nodes
+			sa.NewNodes += n.Nodes
+			sa.OldIters += o.SimplexIters
+			sa.NewIters += n.SimplexIters
+			if o.WallMS > 0 && n.WallMS > 0 {
+				l := math.Log(o.WallMS / n.WallMS)
+				sa.logSum += l
+				sa.ratios++
+				logSum += l
+				ratios++
+			}
 			switch rd.Verdict {
 			case VerdictImproved:
 				d.Improved++
@@ -182,7 +257,24 @@ func CompareReports(old, new *Report, opts DiffOptions) *Diff {
 		}
 		d.Runs = append(d.Runs, rd)
 	}
+	sort.Strings(seriesKeys)
+	for _, sk := range seriesKeys {
+		sa := series[sk]
+		if sa.ratios > 0 {
+			sa.Geomean = math.Exp(sa.logSum / float64(sa.ratios))
+		}
+		d.Series = append(d.Series, sa.SeriesDiff)
+	}
+	if ratios > 0 {
+		d.GeomeanSpeedup = math.Exp(logSum / float64(ratios))
+	}
 	return d
+}
+
+// seriesKeyOf truncates a run key (w/c/r/s) to its series (w/c).
+func seriesKeyOf(runKey string) string {
+	parts := strings.SplitN(runKey, "/", 3)
+	return parts[0] + "/" + parts[1]
 }
 
 // statusRank orders solve outcomes from best to worst for comparison.
@@ -231,6 +323,13 @@ func (d *Diff) Render(w io.Writer) error {
 	if d.HostMismatch {
 		fmt.Fprintf(w, "WARNING: host or Go version differs between reports; wall clocks are not comparable\n")
 	}
+	if d.ScaleMismatch {
+		fmt.Fprintf(w, "WARNING: workload scale differs between reports (%q -> %q); aligned runs solve different instances\n",
+			d.OldScale, d.NewScale)
+	} else if (d.OldScale == "") != (d.NewScale == "") {
+		fmt.Fprintf(w, "note: workload scale recorded on only one report (%q -> %q); scale comparison skipped\n",
+			d.OldScale, d.NewScale)
+	}
 	for _, r := range d.Runs {
 		switch r.Verdict {
 		case VerdictAdded:
@@ -255,7 +354,20 @@ func (d *Diff) Render(w io.Writer) error {
 			fmt.Fprintln(w, line)
 		}
 	}
+	for _, s := range d.Series {
+		line := fmt.Sprintf("series %-8s %9.1f -> %9.1f ms", s.Key, s.OldWallMS, s.NewWallMS)
+		if s.Geomean > 0 {
+			line += fmt.Sprintf(" (geomean %.2fx)", s.Geomean)
+		}
+		if s.Drifted() {
+			line += fmt.Sprintf("  nodes %d -> %d, iters %d -> %d", s.OldNodes, s.NewNodes, s.OldIters, s.NewIters)
+		}
+		fmt.Fprintln(w, line)
+	}
 	fmt.Fprintf(w, "aligned total: %.1f -> %.1f ms\n", d.OldTotalMS, d.NewTotalMS)
+	if d.GeomeanSpeedup > 0 {
+		fmt.Fprintf(w, "geomean speedup: %.2fx\n", d.GeomeanSpeedup)
+	}
 	verdict := "PASS"
 	if d.Regressed > 0 {
 		verdict = "FAIL"

@@ -65,6 +65,40 @@ func TestCompareReportsClassification(t *testing.T) {
 	if byKey["w2/c10/r100/s1"].Verdict != VerdictAdded {
 		t.Fatalf("added run: %+v", byKey["w2/c10/r100/s1"])
 	}
+	// Per-series aggregation covers aligned runs only: the 6 aligned
+	// pairs all live in w1/c10; the removed/added runs contribute nothing.
+	if len(d.Series) != 1 || d.Series[0].Key != "w1/c10" || d.Series[0].Runs != 6 {
+		t.Fatalf("series aggregation: %+v", d.Series)
+	}
+	if !d.Series[0].Drifted() {
+		t.Fatalf("series with a drifted run not flagged: %+v", d.Series[0])
+	}
+	if d.Series[0].Geomean <= 0 || d.GeomeanSpeedup <= 0 {
+		t.Fatalf("geomean not populated: series %v overall %v", d.Series[0].Geomean, d.GeomeanSpeedup)
+	}
+	if d.ScaleMismatch {
+		t.Fatalf("fixtures share a scale; ScaleMismatch set")
+	}
+}
+
+// TestCompareReportsScaleMismatch: sweeps taken at different
+// cmd/experiments scales solve different instances even when run keys
+// align, so the diff must carry a warning.
+func TestCompareReportsScaleMismatch(t *testing.T) {
+	old, new := loadDiffFixtures(t)
+	old.Config.Scale = "small"
+	new.Config.Scale = "0.5"
+	d := CompareReports(old, new, DiffOptions{})
+	if !d.ScaleMismatch || d.OldScale != "small" || d.NewScale != "0.5" {
+		t.Fatalf("scale mismatch not reported: %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := d.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("WARNING: workload scale differs")) {
+		t.Fatalf("render missing scale warning:\n%s", buf.String())
+	}
 }
 
 func TestCompareReportSelfIsClean(t *testing.T) {
@@ -75,6 +109,11 @@ func TestCompareReportSelfIsClean(t *testing.T) {
 	}
 	if d.Unchanged != 7 {
 		t.Fatalf("self-comparison aligned %d runs, want 7", d.Unchanged)
+	}
+	for _, s := range d.Series {
+		if s.Drifted() {
+			t.Fatalf("self-comparison series drifted: %+v", s)
+		}
 	}
 }
 

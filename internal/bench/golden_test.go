@@ -48,6 +48,7 @@ func goldenReport() *Report {
 			TimeLimitSec:    30,
 			Parallel:        4,
 			WorkerCounts:    []int{1, 4},
+			Scale:           "small",
 		},
 		Series: []SeriesRecord{{
 			Workers:  1,
@@ -58,26 +59,30 @@ func goldenReport() *Report {
 				MinMS:  10,
 				MaxMS:  15,
 				Runs: []RunRecord{{
-					Seed:             1,
-					Status:           "OPTIMAL",
-					WallMS:           10,
-					TotalRules:       37,
-					Variables:        120,
-					Constraints:      260,
-					Nodes:            9,
-					SimplexIters:     431,
-					Workers:          1,
-					LURefactors:      3,
-					Branched:         4,
-					PrunedBound:      2,
-					PrunedInfeasible: 1,
-					IntegralLeaves:   2,
-					LostSubtrees:     0,
-					PrunedStale:      1,
-					Incumbents:       2,
-					StopReason:       "none",
-					BestBound:        37,
-					Gap:              0,
+					Seed:              1,
+					Status:            "OPTIMAL",
+					WallMS:            10,
+					TotalRules:        37,
+					Variables:         120,
+					Constraints:       260,
+					Nodes:             9,
+					SimplexIters:      431,
+					Workers:           1,
+					LURefactors:       3,
+					Branched:          4,
+					PrunedBound:       2,
+					PrunedInfeasible:  1,
+					IntegralLeaves:    2,
+					LostSubtrees:      0,
+					PrunedStale:       1,
+					Incumbents:        2,
+					CutsAdded:         3,
+					CutRoundsRoot:     2,
+					StrongBranchEvals: 12,
+					WarmStartReuses:   7,
+					StopReason:        "none",
+					BestBound:         37,
+					Gap:               0,
 				}, {
 					Seed:       102,
 					Status:     "LIMIT",

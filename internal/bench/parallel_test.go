@@ -63,12 +63,15 @@ func TestRunJobsFirstErrorByIndex(t *testing.T) {
 func TestBuildReport(t *testing.T) {
 	base := tiny()
 	base.Parallel = 2
-	rep, err := BuildReport(base, []int{4, 6}, []int{50}, 2, []int{1, 2})
+	rep, err := BuildReport(base, []int{4, 6}, []int{50}, 2, []int{1, 2}, "small")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Schema != ReportSchema {
 		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Config.Scale != "small" {
+		t.Errorf("config scale = %q, want small", rep.Config.Scale)
 	}
 	if rep.NumCPU <= 0 || rep.GOMAXPROCS <= 0 || rep.GoVersion == "" {
 		t.Errorf("host fields not populated: %+v", rep)

@@ -48,6 +48,11 @@ type ReportConfig struct {
 	TimeLimitSec    float64 `json:"time_limit_sec"`
 	Parallel        int     `json:"parallel"`
 	WorkerCounts    []int   `json:"worker_counts"`
+	// Scale is the cmd/experiments preset or numeric factor the sweep ran
+	// at ("" for reports written before the field existed). Comparisons
+	// across different scales are meaningless; diff tools warn on
+	// mismatch.
+	Scale string `json:"scale,omitempty"`
 }
 
 // SeriesRecord is one runtime-vs-rules sweep at a fixed capacity and
@@ -82,15 +87,22 @@ type RunRecord struct {
 	Workers      int     `json:"workers"`
 	// Node-outcome breakdown: branched + pruned_bound + pruned_infeasible
 	// + integral_leaves + lost_subtrees == nodes.
-	LURefactors      int    `json:"lu_refactors"`
-	Branched         int    `json:"branched"`
-	PrunedBound      int    `json:"pruned_bound"`
-	PrunedInfeasible int    `json:"pruned_infeasible"`
-	IntegralLeaves   int    `json:"integral_leaves"`
-	LostSubtrees     int    `json:"lost_subtrees"`
-	PrunedStale      int    `json:"pruned_stale"`
-	Incumbents       int    `json:"incumbents"`
-	StopReason       string `json:"stop_reason"`
+	LURefactors      int `json:"lu_refactors"`
+	Branched         int `json:"branched"`
+	PrunedBound      int `json:"pruned_bound"`
+	PrunedInfeasible int `json:"pruned_infeasible"`
+	IntegralLeaves   int `json:"integral_leaves"`
+	LostSubtrees     int `json:"lost_subtrees"`
+	PrunedStale      int `json:"pruned_stale"`
+	Incumbents       int `json:"incumbents"`
+	// Solver-speed mechanisms (additive; absent in older reports):
+	// root cover cuts, reliability strong-branch trials, and
+	// warm-started node LPs.
+	CutsAdded         int    `json:"cuts_added"`
+	CutRoundsRoot     int    `json:"cut_rounds_root"`
+	StrongBranchEvals int    `json:"strong_branch_evals"`
+	WarmStartReuses   int    `json:"warm_start_reuses"`
+	StopReason        string `json:"stop_reason"`
 	// Gap is 0 for proven optima, positive for anytime incumbents, and
 	// -1 when undefined; best_bound is meaningful only when gap >= 0.
 	BestBound float64 `json:"best_bound"`
@@ -110,8 +122,10 @@ type SpeedupRecord struct {
 // BuildReport runs the Experiment 1 sweep once per worker count and
 // assembles the machine-readable report. The placements themselves are
 // identical across worker counts (the solver is deterministic in
-// Workers); only the wall-clock columns differ.
-func BuildReport(base Config, ruleCounts, capacities []int, seeds int, workerCounts []int) (*Report, error) {
+// Workers); only the wall-clock columns differ. scale is the
+// cmd/experiments preset or factor the sweep ran at, recorded in the
+// config block so comparison tools can refuse cross-scale diffs.
+func BuildReport(base Config, ruleCounts, capacities []int, seeds int, workerCounts []int, scale string) (*Report, error) {
 	base = base.withDefaults()
 	rep := &Report{
 		Schema: ReportSchema,
@@ -134,6 +148,7 @@ func BuildReport(base Config, ruleCounts, capacities []int, seeds int, workerCou
 			TimeLimitSec:    base.Opts.TimeLimit.Seconds(),
 			Parallel:        base.Parallel,
 			WorkerCounts:    workerCounts,
+			Scale:           scale,
 		},
 	}
 	totals := make(map[int]float64, len(workerCounts))
@@ -160,26 +175,30 @@ func BuildReport(base Config, ruleCounts, capacities []int, seeds int, workerCou
 				}
 				for s, r := range p.Runs {
 					pr.Runs = append(pr.Runs, RunRecord{
-						Seed:             base.Seed + int64(s)*101,
-						Status:           r.Status.String(),
-						WallMS:           ms(r.Time),
-						TotalRules:       r.TotalRules,
-						Variables:        r.Variables,
-						Constraints:      r.Constraints,
-						Nodes:            r.Nodes,
-						SimplexIters:     r.SimplexIters,
-						Workers:          r.Workers,
-						LURefactors:      r.LURefactors,
-						Branched:         r.Branched,
-						PrunedBound:      r.PrunedBound,
-						PrunedInfeasible: r.PrunedInfeasible,
-						IntegralLeaves:   r.IntegralLeaves,
-						LostSubtrees:     r.LostSubtrees,
-						PrunedStale:      r.PrunedStale,
-						Incumbents:       r.Incumbents,
-						StopReason:       r.StopReason,
-						BestBound:        r.BestBound,
-						Gap:              r.Gap,
+						Seed:              base.Seed + int64(s)*101,
+						Status:            r.Status.String(),
+						WallMS:            ms(r.Time),
+						TotalRules:        r.TotalRules,
+						Variables:         r.Variables,
+						Constraints:       r.Constraints,
+						Nodes:             r.Nodes,
+						SimplexIters:      r.SimplexIters,
+						Workers:           r.Workers,
+						LURefactors:       r.LURefactors,
+						Branched:          r.Branched,
+						PrunedBound:       r.PrunedBound,
+						PrunedInfeasible:  r.PrunedInfeasible,
+						IntegralLeaves:    r.IntegralLeaves,
+						LostSubtrees:      r.LostSubtrees,
+						PrunedStale:       r.PrunedStale,
+						Incumbents:        r.Incumbents,
+						CutsAdded:         r.CutsAdded,
+						CutRoundsRoot:     r.CutRoundsRoot,
+						StrongBranchEvals: r.StrongBranchEvals,
+						WarmStartReuses:   r.WarmStartReuses,
+						StopReason:        r.StopReason,
+						BestBound:         r.BestBound,
+						Gap:               r.Gap,
 					})
 					totals[w] += ms(r.Time)
 				}

@@ -78,6 +78,7 @@ func solveILP(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
 	sol, err := ilp.Solve(m, ilp.Options{
 		TimeLimit:       opts.TimeLimit,
 		DisablePresolve: opts.DisablePresolve,
+		DisableCuts:     opts.DisableCuts,
 		Workers:         opts.Workers,
 		Sink:            opts.SolverSink,
 		TraceID:         opts.traceID(),
@@ -102,6 +103,10 @@ func solveILP(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
 	pl.Stats.LostSubtrees = sol.Stats.LostSubtrees
 	pl.Stats.PrunedStale = sol.Stats.PrunedStale
 	pl.Stats.Incumbents = sol.Stats.Incumbents
+	pl.Stats.CutsAdded = sol.Stats.CutsAdded
+	pl.Stats.CutRoundsRoot = sol.Stats.CutRoundsRoot
+	pl.Stats.StrongBranchEvals = sol.Stats.StrongBranchEvals
+	pl.Stats.WarmStartReuses = sol.Stats.WarmStartReuses
 	pl.Stats.StopReason = sol.Stats.StopReason
 	pl.Stats.BestBound = sol.Stats.BestBound
 	pl.Stats.Gap = sol.Stats.Gap

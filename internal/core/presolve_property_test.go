@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"rulefit/internal/core"
+	"rulefit/internal/randgen"
+)
+
+// TestPresolveCutsNeverExcludeOptimum is the safety property behind the
+// solver's speed machinery: bound tightening (presolve) and root cover
+// cuts may only discard non-optimal or infeasible parts of the search
+// space. On seeded random instances small enough for the enumeration
+// oracle, every combination of {presolve, cuts} × {on, off} must report
+// the same status and the same optimal objective as PlaceExhaustive —
+// a cut or bound that excluded the optimum shows up here as a worse
+// objective on the variant that applied it.
+//
+// On top of the objective property, the placement itself must be
+// byte-identical between the default solve and a cuts-disabled solve:
+// the placement objective's deterministic tie-break keeps cuts from
+// steering the search to a different equally-good placement.
+func TestPresolveCutsNeverExcludeOptimum(t *testing.T) {
+	base := core.Options{Backend: core.BackendILP, Workers: 1, Merging: true}
+	variants := []struct {
+		name string
+		mod  func(core.Options) core.Options
+	}{
+		{"default", func(o core.Options) core.Options { return o }},
+		{"nocuts", func(o core.Options) core.Options { o.DisableCuts = true; return o }},
+		{"nopresolve", func(o core.Options) core.Options { o.DisablePresolve = true; return o }},
+		{"bare", func(o core.Options) core.Options { o.DisableCuts = true; o.DisablePresolve = true; return o }},
+	}
+	checked := 0
+	for seed := int64(1); seed <= 80; seed++ {
+		inst, err := randgen.Generate(randgen.FromSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		exh, err := core.PlaceExhaustive(inst.Problem, base, 16)
+		if errors.Is(err, core.ErrExhaustiveTooLarge) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: exhaustive: %v", seed, err)
+		}
+		checked++
+		var def *core.Placement
+		for _, v := range variants {
+			pl, err := core.Place(inst.Problem, v.mod(base))
+			if err != nil {
+				t.Fatalf("seed %d/%s: %v", seed, v.name, err)
+			}
+			if pl.Status != exh.Status {
+				t.Errorf("seed %d/%s: status %v, oracle %v", seed, v.name, pl.Status, exh.Status)
+				continue
+			}
+			if exh.Status == core.StatusOptimal && math.Abs(pl.Objective-exh.Objective) > 0.5 {
+				t.Errorf("seed %d/%s: objective %g, oracle optimum %g — search space pruning excluded the optimum",
+					seed, v.name, pl.Objective, exh.Objective)
+			}
+			switch v.name {
+			case "default":
+				def = pl
+			case "nocuts":
+				// The headline identity: disabling cuts must not change
+				// the placement, only (possibly) the node count.
+				if !reflect.DeepEqual(pl.Assign, def.Assign) {
+					t.Errorf("seed %d: assignments differ between default and cuts-disabled solves", seed)
+				}
+				if !reflect.DeepEqual(pl.MergedAt, def.MergedAt) {
+					t.Errorf("seed %d: merge placements differ between default and cuts-disabled solves", seed)
+				}
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d instances fit the exhaustive budget; want >= 20", checked)
+	}
+}

@@ -116,6 +116,9 @@ type Options struct {
 	TimeLimit time.Duration
 	// DisablePresolve turns off ILP presolve (ablation).
 	DisablePresolve bool
+	// DisableCuts turns off the ILP solver's root cover-cut separation
+	// (ablation; the placement is identical either way).
+	DisableCuts bool
 	// Workers sets the ILP branch & bound parallelism (0 = GOMAXPROCS).
 	// The placement returned is independent of the worker count.
 	Workers int
@@ -269,6 +272,14 @@ type Stats struct {
 	LostSubtrees     int
 	PrunedStale      int
 	Incumbents       int
+	// CutsAdded/CutRoundsRoot report the solver's root cover-cut
+	// separation; StrongBranchEvals counts reliability-branching trials;
+	// WarmStartReuses counts node LPs solved from the parent's factored
+	// basis (all ILP backend).
+	CutsAdded         int
+	CutRoundsRoot     int
+	StrongBranchEvals int
+	WarmStartReuses   int
 	// StopReason says why the ILP search ended early (ilp.StopNone when
 	// the tree was exhausted).
 	StopReason ilp.StopReason

@@ -1,0 +1,279 @@
+package ilp
+
+import (
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Lifted cover cuts from knapsack rows. The paper's capacity constraint
+// (Eq. 3) is one knapsack row per switch, and with rule merging its
+// savings terms give genuinely weighted knapsacks — exactly the rows
+// cover cuts strengthen. Separation runs only at the root, in rounds:
+// separate from the current LP point, age the pool, rebuild the LP with
+// the active cuts, and re-solve. Everything is deterministic: rows are
+// scanned in model order, ties break by variable index, and the pool is
+// an ordered slice, so the cut set is a pure function of the instance.
+
+// Cut separation limits.
+const (
+	// cutRoundLimit bounds root separation rounds.
+	cutRoundLimit = 8
+	// maxCutsPerRound bounds how many new cuts one round may add.
+	maxCutsPerRound = 64
+	// minCutViolation is the minimum LP violation for a cut to enter the
+	// pool; weaker cuts churn the basis without moving the bound.
+	minCutViolation = 1e-4
+	// cutIdleLimit drops a pool cut after this many consecutive rounds
+	// with positive slack (activity-based aging).
+	cutIdleLimit = 2
+)
+
+// poolCut is one pooled cover cut with its aging counter.
+type poolCut struct {
+	c    Constraint
+	idle int
+}
+
+// cutPool is the deterministic root cut pool: an ordered slice plus a
+// key set for duplicate suppression. Dropped cuts stay in the key set,
+// so a cut can never oscillate in and out across rounds (termination).
+type cutPool struct {
+	cuts []poolCut
+	seen map[string]bool
+}
+
+func newCutPool() *cutPool {
+	return &cutPool{seen: make(map[string]bool)}
+}
+
+// age updates slack-based idle counters at the LP point x and drops
+// cuts idle for cutIdleLimit rounds. Reports whether the active set
+// changed.
+func (p *cutPool) age(x []float64) bool {
+	kept := p.cuts[:0]
+	changed := false
+	for _, pc := range p.cuts {
+		act := 0.0
+		for _, t := range pc.c.Terms {
+			act += t.Coef * x[t.Var]
+		}
+		if pc.c.RHS-act > 1e-7 {
+			pc.idle++
+		} else {
+			pc.idle = 0
+		}
+		if pc.idle >= cutIdleLimit {
+			changed = true
+			continue
+		}
+		kept = append(kept, pc)
+	}
+	p.cuts = kept
+	return changed
+}
+
+// add inserts a cut unless an identical one was ever pooled. Reports
+// whether it was added.
+func (p *cutPool) add(c Constraint) bool {
+	k := cutKey(c)
+	if p.seen[k] {
+		return false
+	}
+	p.seen[k] = true
+	p.cuts = append(p.cuts, poolCut{c: c})
+	return true
+}
+
+// rows returns the active cut rows in pool order.
+func (p *cutPool) rows() []Constraint {
+	out := make([]Constraint, len(p.cuts))
+	for i := range p.cuts {
+		out[i] = p.cuts[i].c
+	}
+	return out
+}
+
+// cutKey canonicalizes a cut (terms are already var-sorted) for
+// duplicate suppression.
+func cutKey(c Constraint) string {
+	b := make([]byte, 0, 16*len(c.Terms))
+	for _, t := range c.Terms {
+		b = strconv.AppendInt(b, int64(t.Var), 10)
+		b = append(b, ':')
+		b = strconv.AppendFloat(b, t.Coef, 'g', -1, 64)
+		b = append(b, ',')
+	}
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, c.RHS, 'g', -1, 64)
+	return string(b)
+}
+
+// coverItem is one knapsack item after normalization to positive
+// coefficients over (possibly complemented) binaries.
+type coverItem struct {
+	v    int     // model variable
+	a    float64 // positive coefficient
+	comp bool    // item variable is the complement 1-x_v
+	val  float64 // LP value of the (complemented) item variable
+}
+
+// separateCovers scans the model rows (LE and EQ as-is, GE negated) for
+// violated lifted cover cuts at the LP point x, honoring the current
+// tightened bounds. At most one cut per source row per call.
+func separateCovers(m *Model, lo, hi []float64, x []float64, pool *cutPool) []Constraint {
+	var out []Constraint
+	items := make([]coverItem, 0, 32)
+	for ci := range m.cons {
+		if len(out) >= maxCutsPerRound {
+			break
+		}
+		c := &m.cons[ci]
+		switch c.Op {
+		case LE, EQ:
+			if cut, ok := coverFromRow(m, c.Terms, c.RHS, 1, lo, hi, x, &items); ok && pool.add(cut) {
+				out = append(out, cut)
+			}
+		case GE:
+			if cut, ok := coverFromRow(m, c.Terms, c.RHS, -1, lo, hi, x, &items); ok && pool.add(cut) {
+				out = append(out, cut)
+			}
+		}
+	}
+	return out
+}
+
+// coverFromRow derives a violated lifted cover cut from one knapsack
+// row sign*(sum a x) <= sign*rhs, or reports ok=false. items is reused
+// scratch.
+func coverFromRow(m *Model, terms []Term, rhs, sign float64, lo, hi []float64, x []float64, items *[]coverItem) (Constraint, bool) {
+	its := (*items)[:0]
+	b := sign * rhs
+	allEqual := true
+	firstA := 0.0
+	for _, t := range terms {
+		a := sign * t.Coef
+		j := t.Var
+		//lint:exactfloat fixed-variable fold on stored bounds; bounds are assigned, never computed
+		if lo[j] == hi[j] {
+			b -= a * lo[j] // fixed: fold into the right-hand side
+			continue
+		}
+		// Only pure binary rows qualify; a continuous or general-integer
+		// variable breaks the 0/1 cover argument.
+		if !m.vars[j].integer || lo[j] < -1e-9 || hi[j] > 1+1e-9 {
+			return Constraint{}, false
+		}
+		it := coverItem{v: j, a: a, val: x[j]}
+		if a < 0 {
+			// Complement: a*x = a - a*(1-x), so the item coefficient
+			// flips positive and the constant moves to the RHS.
+			it.a, it.comp, it.val = -a, true, 1-x[j]
+			b -= a
+		}
+		if it.a < 1e-12 {
+			continue
+		}
+		if len(its) == 0 {
+			firstA = it.a
+		} else if math.Abs(it.a-firstA) > 1e-12 {
+			allEqual = false
+		}
+		its = append(its, it)
+	}
+	*items = its
+	if len(its) < 2 || b < 1e-9 {
+		return Constraint{}, false
+	}
+	total := 0.0
+	for i := range its {
+		total += its[i].a
+	}
+	if total <= b+1e-9 {
+		return Constraint{}, false // no cover exists
+	}
+	if allEqual {
+		// Uniform rows with integral capacity ratio (e.g. unit-coefficient
+		// capacities) only yield covers already implied by the row.
+		if q := b / firstA; math.Abs(q-math.Round(q)) < 1e-9 {
+			return Constraint{}, false
+		}
+	}
+	// Greedy cover: take items by decreasing LP value (ties: variable
+	// index) until the weight exceeds the capacity.
+	sort.Slice(its, func(i, k int) bool {
+		//lint:exactfloat deterministic sort key: any exact-tie order is fine, but it must not depend on tolerance
+		if its[i].val != its[k].val {
+			return its[i].val > its[k].val
+		}
+		return its[i].v < its[k].v
+	})
+	weight := 0.0
+	nc := 0
+	for nc < len(its) && weight <= b+1e-9 {
+		weight += its[nc].a
+		nc++
+	}
+	if weight <= b+1e-9 {
+		return Constraint{}, false
+	}
+	cover := its[:nc]
+	// Minimalize: walk the cover from least valuable back and drop items
+	// the cover does not need (a minimal cover lifts correctly).
+	drop := make([]bool, len(cover))
+	for i := len(cover) - 1; i >= 0; i-- {
+		if weight-cover[i].a > b+1e-9 {
+			weight -= cover[i].a
+			drop[i] = true
+		}
+	}
+	kept := cover[:0]
+	for i := range cover {
+		if !drop[i] {
+			kept = append(kept, cover[i])
+		}
+	}
+	cover = kept
+	if len(cover) < 2 {
+		return Constraint{}, false
+	}
+	// Violation test on the cover inequality sum x~ <= |C|-1.
+	lhs := 0.0
+	aMax := 0.0
+	for i := range cover {
+		lhs += cover[i].val
+		if cover[i].a > aMax {
+			aMax = cover[i].a
+		}
+	}
+	if lhs <= float64(len(cover)-1)+minCutViolation {
+		return Constraint{}, false
+	}
+	// Extension lifting: every item at least as heavy as the heaviest
+	// cover member joins the inequality at coefficient 1.
+	rhsOut := float64(len(cover) - 1)
+	ct := make([]Term, 0, len(its))
+	inCover := make(map[int]bool, len(cover))
+	for i := range cover {
+		inCover[cover[i].v] = true
+	}
+	emit := func(it coverItem) {
+		if it.comp {
+			// x~ = 1 - x: the term flips sign and shifts the RHS.
+			ct = append(ct, Term{Var: it.v, Coef: -1})
+			rhsOut--
+			return
+		}
+		ct = append(ct, Term{Var: it.v, Coef: 1})
+	}
+	for i := range cover {
+		emit(cover[i])
+	}
+	for i := range its {
+		if !inCover[its[i].v] && its[i].a >= aMax-1e-12 {
+			emit(its[i])
+		}
+	}
+	sortTermsByVar(ct)
+	return Constraint{Terms: ct, Op: LE, RHS: rhsOut, Name: "cover"}, true
+}

@@ -14,6 +14,13 @@ import (
 //
 // The factorization is PB = LU up to the row permutation recorded in
 // pivotRow: column j of the basis pivots on original row pivotRow[j].
+//
+// Storage is struct-of-arrays: L and U each live in one (ptr, rows, vals)
+// column-compressed slab grown append-only while columns are factored in
+// order, instead of one heap allocation per column. At paper scale the
+// factorization is rebuilt thousands of times per solve, so the slab
+// layout both kills the per-column allocator traffic and keeps the
+// triangular-solve sweeps on contiguous memory.
 
 // entry is one nonzero of a sparse column.
 type entry struct {
@@ -21,67 +28,137 @@ type entry struct {
 	val float64
 }
 
-// luFactor is a sparse LU factorization supporting Ax=b and A^T y=c solves.
+// luFactor is a sparse LU factorization supporting Ax=b and A^T y=c
+// solves. It is immutable once luFactorize returns, so branch & bound
+// snapshots may share one factor across worker goroutines as long as
+// each caller passes its own scratch vector to ftranInto/btranInto.
 type luFactor struct {
 	m int
-	// lcols[j] holds L's column j: entries strictly below the unit
-	// diagonal, indexed by original row.
-	lcols [][]entry
-	// ucols[j] holds U's column j: entries (k, val) where k < j is the
-	// factor column index (permuted row), including the diagonal (k==j).
-	ucols [][]entry
+	// L's columns: entries strictly below the unit diagonal, indexed by
+	// original row. Column j spans lrows/lvals[lptr[j]:lptr[j+1]].
+	lptr  []int32
+	lrows []int32
+	lvals []float64
+	// U's columns: entries (k, val) where k < j is the factor column
+	// index (permuted row), excluding the diagonal (kept in udiag).
+	uptr  []int32
+	urows []int32
+	uvals []float64
 	udiag []float64
 	// pivotRow[j] is the original row chosen as pivot for column j;
 	// rowOfPiv is its inverse (original row -> factor index).
-	pivotRow []int
-	rowOfPiv []int
+	pivotRow []int32
+	rowOfPiv []int32
 }
 
 // errSingular reports a numerically singular basis.
 var errSingular = errors.New("ilp: singular basis matrix")
 
-// luFactorize factors the m x m matrix given column-wise.
+// luWorkspace holds the scatter/DFS scratch reused across
+// factorizations. The factored output cannot be reused (snapshots keep
+// old factors alive), but the symbolic scratch — the bulk of the
+// transient allocation — can.
+type luWorkspace struct {
+	dense   []float64 // scatter accumulator, by original row
+	mark    []bool    // nonzero pattern flags, by original row
+	visited []int32   // DFS visit stamps, by factor index
+	stamp   int32     // current DFS stamp
+	order   []int32   // topological order of reached factor cols
+	pattern []int32   // nonzero original rows of the column
+	frames  []luFrame // DFS stack
+}
+
+// luFrame is one iterative-DFS stack frame over the L structure.
+type luFrame struct {
+	col int32
+	pos int32
+}
+
+// reset sizes the workspace for an m-row factorization.
+func (ws *luWorkspace) reset(m int) {
+	if cap(ws.dense) < m {
+		ws.dense = make([]float64, m)
+		ws.mark = make([]bool, m)
+		ws.visited = make([]int32, m)
+		ws.stamp = 0
+	}
+	ws.dense = ws.dense[:m]
+	ws.mark = ws.mark[:m]
+	ws.visited = ws.visited[:m]
+	ws.order = ws.order[:0]
+	ws.pattern = ws.pattern[:0]
+	ws.frames = ws.frames[:0]
+}
+
+// luFactorize factors the m x m matrix given column-wise. Compatibility
+// entry point (tests and benches); the solver hot path uses
+// luFactorizeCSC with a reused workspace.
 func luFactorize(m int, cols [][]entry) (*luFactor, error) {
+	nnz := 0
+	for _, c := range cols {
+		nnz += len(c)
+	}
+	ptr := make([]int32, m+1)
+	rows := make([]int32, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	for j, c := range cols {
+		for _, e := range c {
+			rows = append(rows, int32(e.row))
+			vals = append(vals, e.val)
+		}
+		ptr[j+1] = int32(len(rows))
+	}
+	var ws luWorkspace
+	return luFactorizeCSC(m, ptr, rows, vals, &ws)
+}
+
+// luFactorizeCSC factors the m x m matrix given in compressed sparse
+// column form. ws provides the symbolic scratch; it is reset here and
+// may be reused across calls.
+func luFactorizeCSC(m int, ptr []int32, rows []int32, vals []float64, ws *luWorkspace) (*luFactor, error) {
+	nnz := len(rows)
 	f := &luFactor{
 		m:        m,
-		lcols:    make([][]entry, m),
-		ucols:    make([][]entry, m),
+		lptr:     make([]int32, m+1),
+		uptr:     make([]int32, m+1),
 		udiag:    make([]float64, m),
-		pivotRow: make([]int, m),
-		rowOfPiv: make([]int, m),
+		pivotRow: make([]int32, m),
+		rowOfPiv: make([]int32, m),
+		// The input nnz is a reasonable first guess for L and U; the
+		// slabs grow by append when fill-in exceeds it.
+		lrows: make([]int32, 0, nnz),
+		lvals: make([]float64, 0, nnz),
+		urows: make([]int32, 0, nnz),
+		uvals: make([]float64, 0, nnz),
 	}
 	for i := range f.rowOfPiv {
 		f.rowOfPiv[i] = -1
 	}
-	dense := make([]float64, m)   // scatter accumulator, by original row
-	mark := make([]bool, m)       // nonzero pattern flags, by original row
-	stack := make([]int, 0, 64)   // DFS stack of factor indices
-	visited := make([]int32, m)   // DFS visit stamps, by factor index
-	var stamp int32               // current DFS stamp
-	order := make([]int, 0, 64)   // topological order of reached factor cols
-	pattern := make([]int, 0, 64) // nonzero original rows of the column
+	ws.reset(m)
+	dense, mark := ws.dense, ws.mark
 
 	for j := 0; j < m; j++ {
 		// Scatter column j.
-		pattern = pattern[:0]
-		order = order[:0]
-		stamp++
-		for _, e := range cols[j] {
-			if mark[e.row] {
-				dense[e.row] += e.val
+		pattern := ws.pattern[:0]
+		order := ws.order[:0]
+		ws.stamp++
+		for p := ptr[j]; p < ptr[j+1]; p++ {
+			r := rows[p]
+			if mark[r] {
+				dense[r] += vals[p]
 				continue
 			}
-			mark[e.row] = true
-			dense[e.row] = e.val
-			pattern = append(pattern, e.row)
+			mark[r] = true
+			dense[r] = vals[p]
+			pattern = append(pattern, r)
 		}
 		// Symbolic: DFS from each nonzero landing on an already-pivoted
 		// row, collecting reached factor columns in reverse-topological
 		// order (appended post-order, applied in reverse below).
 		for _, r := range pattern {
 			k := f.rowOfPiv[r]
-			if k >= 0 && visited[k] != stamp {
-				f.dfsReach(k, visited, stamp, &stack, &order)
+			if k >= 0 && ws.visited[k] != ws.stamp {
+				order = f.dfsReach(k, ws.visited, ws.stamp, &ws.frames, order)
 			}
 		}
 		// Numeric: apply reached L columns in topological order.
@@ -93,18 +170,19 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 			if xk == 0 {
 				continue
 			}
-			for _, e := range f.lcols[k] {
-				if !mark[e.row] {
-					mark[e.row] = true
-					dense[e.row] = 0
-					pattern = append(pattern, e.row)
+			for p := f.lptr[k]; p < f.lptr[k+1]; p++ {
+				r := f.lrows[p]
+				if !mark[r] {
+					mark[r] = true
+					dense[r] = 0
+					pattern = append(pattern, r)
 				}
-				dense[e.row] -= xk * e.val
+				dense[r] -= xk * f.lvals[p]
 			}
 		}
 		// Pivot selection: largest magnitude among unpivoted rows; the
 		// already-pivoted rows become U entries.
-		pivot, pmax := -1, 0.0
+		pivot, pmax := int32(-1), 0.0
 		for _, r := range pattern {
 			if f.rowOfPiv[r] >= 0 {
 				continue
@@ -121,13 +199,13 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 				mark[r] = false
 				dense[r] = 0
 			}
+			ws.pattern, ws.order = pattern[:0], order[:0]
 			return nil, errSingular
 		}
 		piv := dense[pivot]
 		f.pivotRow[j] = pivot
-		f.rowOfPiv[pivot] = j
+		f.rowOfPiv[pivot] = int32(j)
 		f.udiag[j] = piv
-		var ucol, lcol []entry
 		for _, r := range pattern {
 			v := dense[r]
 			mark[r] = false
@@ -136,16 +214,19 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 			if v == 0 || r == pivot {
 				continue
 			}
-			if k := f.rowOfPiv[r]; k >= 0 && k < j {
+			if k := f.rowOfPiv[r]; k >= 0 && int(k) < j {
 				if math.Abs(v) > 1e-13 {
-					ucol = append(ucol, entry{row: k, val: v})
+					f.urows = append(f.urows, k)
+					f.uvals = append(f.uvals, v)
 				}
 			} else if math.Abs(v/piv) > 1e-13 {
-				lcol = append(lcol, entry{row: r, val: v / piv})
+				f.lrows = append(f.lrows, r)
+				f.lvals = append(f.lvals, v/piv)
 			}
 		}
-		f.ucols[j] = ucol
-		f.lcols[j] = lcol
+		f.lptr[j+1] = int32(len(f.lrows))
+		f.uptr[j+1] = int32(len(f.urows))
+		ws.pattern, ws.order = pattern[:0], order[:0]
 	}
 	if invariant.Enabled {
 		// Roundtrip probe: solve B x = B·1 and expect x ≈ 1. The error
@@ -153,12 +234,10 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 		// generous — this asserts a structurally broken factorization
 		// (bad permutation, dropped column), not numerical accuracy.
 		probe := make([]float64, m)
-		for _, col := range cols {
-			for _, e := range col {
-				probe[e.row] += e.val
-			}
+		for p := 0; p < nnz; p++ {
+			probe[rows[p]] += vals[p]
 		}
-		f.ftran(probe)
+		f.ftranInto(probe, make([]float64, m))
 		worst := 0.0
 		for _, x := range probe {
 			if d := math.Abs(x - 1); d > worst {
@@ -173,39 +252,45 @@ func luFactorize(m int, cols [][]entry) (*luFactor, error) {
 
 // dfsReach performs an iterative DFS over the L structure from factor
 // column k, appending finished nodes to order (post-order).
-func (f *luFactor) dfsReach(k int, visited []int32, stamp int32, stack *[]int, order *[]int) {
-	type frame struct {
-		col int
-		pos int
-	}
-	frames := []frame{{col: k}}
+func (f *luFactor) dfsReach(k int32, visited []int32, stamp int32, frames *[]luFrame, order []int32) []int32 {
+	fr := (*frames)[:0]
+	fr = append(fr, luFrame{col: k})
 	visited[k] = stamp
-	for len(frames) > 0 {
-		fr := &frames[len(frames)-1]
+	for len(fr) > 0 {
+		top := &fr[len(fr)-1]
 		adv := false
-		lc := f.lcols[fr.col]
-		for fr.pos < len(lc) {
-			r := lc[fr.pos].row
-			fr.pos++
+		end := f.lptr[top.col+1]
+		for p := f.lptr[top.col] + top.pos; p < end; p++ {
+			top.pos++
+			r := f.lrows[p]
 			if kk := f.rowOfPiv[r]; kk >= 0 && visited[kk] != stamp {
 				visited[kk] = stamp
-				frames = append(frames, frame{col: kk})
+				fr = append(fr, luFrame{col: kk})
 				adv = true
 				break
 			}
 		}
-		if !adv && fr.pos >= len(lc) {
-			*order = append(*order, fr.col)
-			frames = frames[:len(frames)-1]
+		if !adv && f.lptr[top.col]+top.pos >= end {
+			order = append(order, top.col)
+			fr = fr[:len(fr)-1]
 		}
 	}
-	_ = stack
+	*frames = fr[:0]
+	return order
 }
 
-// ftran solves B x = b in place: b is indexed by original row on input,
-// and on output x is indexed by factor column (i.e. x[j] is the value of
-// the basic variable in factor position j).
+// ftran solves B x = b in place, allocating its own scratch.
+// Compatibility wrapper; hot paths use ftranInto with a reused buffer.
 func (f *luFactor) ftran(b []float64) {
+	f.ftranInto(b, make([]float64, f.m))
+}
+
+// ftranInto solves B x = b in place: b is indexed by original row on
+// input, and on output x is indexed by factor column (i.e. x[j] is the
+// value of the basic variable in factor position j). scratch must have
+// length >= m and is clobbered; it exists so the solver's hot loop
+// performs no per-solve allocation.
+func (f *luFactor) ftranInto(b, scratch []float64) {
 	// Forward solve L y = Pb: process factor columns in order.
 	for j := 0; j < f.m; j++ {
 		y := b[f.pivotRow[j]]
@@ -213,12 +298,12 @@ func (f *luFactor) ftran(b []float64) {
 		if y == 0 {
 			continue
 		}
-		for _, e := range f.lcols[j] {
-			b[e.row] -= y * e.val
+		for p := f.lptr[j]; p < f.lptr[j+1]; p++ {
+			b[f.lrows[p]] -= y * f.lvals[p]
 		}
 	}
 	// Gather into factor order and back-substitute U x = y.
-	x := make([]float64, f.m)
+	x := scratch[:f.m]
 	for j := 0; j < f.m; j++ {
 		x[j] = b[f.pivotRow[j]]
 	}
@@ -229,32 +314,40 @@ func (f *luFactor) ftran(b []float64) {
 		if xj == 0 {
 			continue
 		}
-		for _, e := range f.ucols[j] {
-			x[e.row] -= xj * e.val
+		for p := f.uptr[j]; p < f.uptr[j+1]; p++ {
+			x[f.urows[p]] -= xj * f.uvals[p]
 		}
 	}
 	copy(b[:f.m], x)
 }
 
-// btran solves B^T y = c in place: c is indexed by factor column on
-// input; on output y is indexed by original row.
+// btran solves B^T y = c in place, allocating its own scratch.
+// Compatibility wrapper; hot paths use btranInto with a reused buffer.
 func (f *luFactor) btran(c []float64) {
+	f.btranInto(c, make([]float64, f.m))
+}
+
+// btranInto solves B^T y = c in place: c is indexed by factor column on
+// input; on output y is indexed by original row. scratch must have
+// length >= m and is clobbered.
+func (f *luFactor) btranInto(c, scratch []float64) {
 	// Solve U^T z = c: forward over factor columns.
 	for j := 0; j < f.m; j++ {
-		for _, e := range f.ucols[j] {
-			c[j] -= e.val * c[e.row]
+		acc := c[j]
+		for p := f.uptr[j]; p < f.uptr[j+1]; p++ {
+			acc -= f.uvals[p] * c[f.urows[p]]
 		}
-		c[j] /= f.udiag[j]
+		c[j] = acc / f.udiag[j]
 	}
 	// Solve L^T (Py) = z: backward.
-	y := make([]float64, f.m)
+	y := scratch[:f.m]
 	for j := 0; j < f.m; j++ {
 		y[j] = c[j]
 	}
 	for j := f.m - 1; j >= 0; j-- {
 		acc := y[j]
-		for _, e := range f.lcols[j] {
-			acc -= e.val * y[f.rowOfPiv[e.row]]
+		for p := f.lptr[j]; p < f.lptr[j+1]; p++ {
+			acc -= f.lvals[p] * y[f.rowOfPiv[f.lrows[p]]]
 		}
 		y[j] = acc
 	}

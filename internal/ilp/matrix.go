@@ -1,0 +1,65 @@
+package ilp
+
+// cscMatrix is an immutable compressed-sparse-column matrix holding the
+// LP's structural and slack columns in one struct-of-arrays slab.
+// Column j spans rows/vals[ptr[j]:ptr[j+1]]. Branch & bound clones share
+// one cscMatrix pointer — only bounds, states, and the basis are
+// per-worker — so the standard-form constraint data is built once per
+// solve and never copied or mutated again.
+type cscMatrix struct {
+	n    int
+	ptr  []int32
+	rows []int32
+	vals []float64
+}
+
+// buildStandardForm assembles the CSC matrix of the standard-form LP:
+// one column per structural variable followed by one slack column per
+// row. rows is the model's constraint list plus any appended cut rows.
+// The three slabs are sized exactly and filled in two passes (count,
+// then scatter), the arena-style allocation pattern used throughout the
+// solver's SoA core.
+func buildStandardForm(nStruct int, rows []Constraint) *cscMatrix {
+	nnz := 0
+	for i := range rows {
+		nnz += len(rows[i].Terms)
+	}
+	nCols := nStruct + len(rows)
+	mat := &cscMatrix{
+		n:    nCols,
+		ptr:  make([]int32, nCols+1),
+		rows: make([]int32, nnz+len(rows)),
+		vals: make([]float64, nnz+len(rows)),
+	}
+	// Count structural column lengths.
+	for i := range rows {
+		for _, t := range rows[i].Terms {
+			mat.ptr[t.Var+1]++
+		}
+	}
+	for j := 0; j < nStruct; j++ {
+		mat.ptr[j+1] += mat.ptr[j]
+	}
+	// Scatter structural entries; next[j] is the fill cursor.
+	next := make([]int32, nStruct)
+	for j := 0; j < nStruct; j++ {
+		next[j] = mat.ptr[j]
+	}
+	for i := range rows {
+		for _, t := range rows[i].Terms {
+			p := next[t.Var]
+			mat.rows[p] = int32(i)
+			mat.vals[p] = t.Coef
+			next[t.Var]++
+		}
+	}
+	// Slack singleton columns.
+	p := mat.ptr[nStruct]
+	for i := range rows {
+		mat.rows[p] = int32(i)
+		mat.vals[p] = 1
+		p++
+		mat.ptr[nStruct+i+1] = p
+	}
+	return mat
+}

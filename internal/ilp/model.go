@@ -266,6 +266,16 @@ type Stats struct {
 	// Incumbents counts incumbent improvements (first solution included).
 	Incumbents int
 
+	// CutsAdded counts lifted cover cuts accepted into the root pool, and
+	// CutRoundsRoot the last root separation round that found work.
+	CutsAdded     int
+	CutRoundsRoot int
+	// StrongBranchEvals counts reliability-initialization dual-simplex
+	// trials; WarmStartReuses counts node LPs solved from the parent's
+	// factored basis instead of the cold repair path.
+	StrongBranchEvals int
+	WarmStartReuses   int
+
 	// StopReason says why the search ended early (StopNone when the tree
 	// was exhausted cleanly).
 	StopReason StopReason

@@ -1,0 +1,252 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// boundsOf copies a model's declared variable bounds into fresh slices,
+// the same shape Solve hands to presolve.
+func boundsOf(m *Model) (lo, hi []float64) {
+	lo = make([]float64, len(m.vars))
+	hi = make([]float64, len(m.vars))
+	for j, v := range m.vars {
+		lo[j], hi[j] = v.lo, v.hi
+	}
+	return lo, hi
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// TestPresolveEqualityFixesSingleton: an equality row with one variable
+// must pin that variable from both sides (EQ is propagated as LE and
+// GE), leaving lo == hi.
+func TestPresolveEqualityFixesSingleton(t *testing.T) {
+	m := NewModel()
+	x := m.AddInteger("x", 0, 10, 1)
+	m.AddConstraint([]Term{{x, 2}}, EQ, 4, "fix")
+	lo, hi := boundsOf(m)
+	var stats Stats
+	if res := presolve(m, lo, hi, &stats); res != presolveOK {
+		t.Fatalf("presolve = %v, want OK", res)
+	}
+	if !near(lo[x], 2) || !near(hi[x], 2) {
+		t.Errorf("x bounds = [%g, %g], want fixed at 2", lo[x], hi[x])
+	}
+	if stats.PresolveFix == 0 {
+		t.Error("PresolveFix not counted")
+	}
+}
+
+// TestPresolveEqualityRowPropagation: x + y == 5 with x in [0,3] must
+// tighten y from both directions — the LE side caps hi[y] at 5 and the
+// GE side lifts lo[y] to 5 - hi[x] = 2 — while x stays untouched.
+func TestPresolveEqualityRowPropagation(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x", 0, 3, 1)
+	y := m.AddVar("y", 0, 10, 1)
+	m.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5, "sum")
+	lo, hi := boundsOf(m)
+	var stats Stats
+	if res := presolve(m, lo, hi, &stats); res != presolveOK {
+		t.Fatalf("presolve = %v, want OK", res)
+	}
+	if !near(lo[x], 0) || !near(hi[x], 3) {
+		t.Errorf("x bounds = [%g, %g], want [0, 3] unchanged", lo[x], hi[x])
+	}
+	if !near(lo[y], 2) || !near(hi[y], 5) {
+		t.Errorf("y bounds = [%g, %g], want [2, 5]", lo[y], hi[y])
+	}
+}
+
+// TestPresolveNegativeCoefficientFlips: in y - x <= 0 the negative
+// coefficient on x means the row's slack raises lo[x] (a lower-bound
+// flip) while the positive coefficient on y lowers hi[y].
+func TestPresolveNegativeCoefficientFlips(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x", 0, 3, 1)
+	y := m.AddVar("y", 2, 10, 1)
+	m.AddConstraint([]Term{{y, 1}, {x, -1}}, LE, 0, "order")
+	lo, hi := boundsOf(m)
+	var stats Stats
+	if res := presolve(m, lo, hi, &stats); res != presolveOK {
+		t.Fatalf("presolve = %v, want OK", res)
+	}
+	if !near(hi[y], 3) {
+		t.Errorf("hi[y] = %g, want 3 (y <= x <= 3)", hi[y])
+	}
+	if !near(lo[x], 2) {
+		t.Errorf("lo[x] = %g, want 2 (x >= y >= 2)", lo[x])
+	}
+}
+
+// TestPresolveNegativeCoefficientIntegerRounding: 2x >= 5 propagates as
+// -2x <= -5; the implied bound x >= 2.5 must round up to 3 for an
+// integer variable, never down.
+func TestPresolveNegativeCoefficientIntegerRounding(t *testing.T) {
+	m := NewModel()
+	x := m.AddInteger("x", 0, 10, 1)
+	m.AddConstraint([]Term{{x, 2}}, GE, 5, "atleast")
+	lo, hi := boundsOf(m)
+	var stats Stats
+	if res := presolve(m, lo, hi, &stats); res != presolveOK {
+		t.Fatalf("presolve = %v, want OK", res)
+	}
+	if !near(lo[x], 3) {
+		t.Errorf("lo[x] = %g, want ceil(2.5) = 3", lo[x])
+	}
+	if !near(hi[x], 10) {
+		t.Errorf("hi[x] = %g, want 10 unchanged", hi[x])
+	}
+}
+
+// TestPresolveDetectsInfeasibleRow: when a row's minimum activity
+// already exceeds its RHS (here via the GE side: x >= 5 with x <= 3),
+// presolve must report infeasibility rather than emit crossed bounds.
+func TestPresolveDetectsInfeasibleRow(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x", 0, 3, 1)
+	m.AddConstraint([]Term{{x, 1}}, GE, 5, "impossible")
+	lo, hi := boundsOf(m)
+	var stats Stats
+	if res := presolve(m, lo, hi, &stats); res != presolveInfeasible {
+		t.Fatalf("presolve = %v, want infeasible", res)
+	}
+}
+
+// TestPresolveFixpointChain: a chain of coupled rows needs more than
+// one sweep to reach the fixpoint — x1 <= x0, x2 <= x1 with x0 pinned
+// by an equality only resolves x2 after x1 tightens.
+func TestPresolveFixpointChain(t *testing.T) {
+	m := NewModel()
+	x0 := m.AddInteger("x0", 0, 10, 1)
+	x1 := m.AddInteger("x1", 0, 10, 1)
+	x2 := m.AddInteger("x2", 0, 10, 1)
+	m.AddConstraint([]Term{{x0, 1}}, EQ, 2, "pin")
+	m.AddConstraint([]Term{{x1, 1}, {x0, -1}}, LE, 0, "x1<=x0")
+	m.AddConstraint([]Term{{x2, 1}, {x1, -1}}, LE, 0, "x2<=x1")
+	lo, hi := boundsOf(m)
+	var stats Stats
+	if res := presolve(m, lo, hi, &stats); res != presolveOK {
+		t.Fatalf("presolve = %v, want OK", res)
+	}
+	if !near(hi[x1], 2) || !near(hi[x2], 2) {
+		t.Errorf("chain bounds hi[x1]=%g hi[x2]=%g, want both 2", hi[x1], hi[x2])
+	}
+}
+
+// TestSolveCoverCutsOnKnapsack: a weighted knapsack whose LP relaxation
+// is fractional must trigger at least one root cover-cut round, and the
+// cut must not change the optimum: the solve with cuts disabled returns
+// the identical solution vector.
+func TestSolveCoverCutsOnKnapsack(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		a := m.AddBinary("a", -10)
+		b := m.AddBinary("b", -13)
+		c := m.AddBinary("c", -7)
+		m.AddConstraint([]Term{{a, 3}, {b, 4}, {c, 2}}, LE, 6, "cap")
+		return m
+	}
+	with, err := Solve(build(), Options{TimeLimit: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Solve(build(), Options{TimeLimit: 30 * time.Second, DisableCuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Stats.CutsAdded == 0 || with.Stats.CutRoundsRoot == 0 {
+		t.Errorf("no cover cuts separated: cuts=%d rounds=%d",
+			with.Stats.CutsAdded, with.Stats.CutRoundsRoot)
+	}
+	if without.Stats.CutsAdded != 0 {
+		t.Errorf("DisableCuts still added %d cuts", without.Stats.CutsAdded)
+	}
+	if with.Status != Optimal || without.Status != Optimal {
+		t.Fatalf("status with=%v without=%v", with.Status, without.Status)
+	}
+	if math.Abs(with.Objective-(-20)) > 1e-6 || math.Abs(without.Objective-(-20)) > 1e-6 {
+		t.Errorf("objective with=%g without=%g, want -20", with.Objective, without.Objective)
+	}
+	for j := range with.Values {
+		if with.Values[j] != without.Values[j] { //lint:exactfloat integral solution vectors must agree exactly
+			t.Errorf("solution drifted at var %d: with cuts %g, without %g",
+				j, with.Values[j], without.Values[j])
+		}
+	}
+}
+
+// TestSolveRandomKnapsacksCutsVsNoCuts: on random weighted multi-
+// knapsack instances, solves with and without cover cuts must agree on
+// status and optimal objective — a cut that excluded the optimum would
+// show up here as a worse objective with cuts enabled. The solution
+// vectors themselves may differ only when distinct optima tie: these
+// synthetic objectives tie freely, and bound pruning keeps whichever
+// optimum the (cut-dependent) search order proves first. The placement
+// objective is covered by the stricter byte-identity test in
+// internal/core, where solutions must match exactly.
+func TestSolveRandomKnapsacksCutsVsNoCuts(t *testing.T) {
+	cutsSeen := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		m1 := randomKnapsackModel(seed)
+		m2 := randomKnapsackModel(seed)
+		with, err := Solve(m1, Options{TimeLimit: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		without, err := Solve(m2, Options{TimeLimit: 30 * time.Second, DisableCuts: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cutsSeen += with.Stats.CutsAdded
+		if with.Status != without.Status {
+			t.Errorf("seed %d: status with=%v without=%v", seed, with.Status, without.Status)
+			continue
+		}
+		if with.Status != Optimal {
+			continue
+		}
+		if math.Abs(with.Objective-without.Objective) > 1e-6 {
+			t.Errorf("seed %d: objective with=%g without=%g", seed, with.Objective, without.Objective)
+		}
+		if err := VerifySolution(m1, with.Values); err != nil {
+			t.Errorf("seed %d: with-cuts solution infeasible: %v", seed, err)
+		}
+	}
+	if cutsSeen == 0 {
+		t.Error("no instance separated a single cover cut; generator too easy")
+	}
+}
+
+// randomKnapsackModel builds a seeded binary minimization with a few
+// weighted capacity rows, the shape cover cuts exist for.
+func randomKnapsackModel(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	n := 8 + rng.Intn(6)
+	vars := make([]int, n)
+	for j := 0; j < n; j++ {
+		vars[j] = m.AddBinary("x", -float64(1+rng.Intn(20)))
+	}
+	rows := 2 + rng.Intn(3)
+	for r := 0; r < rows; r++ {
+		var terms []Term
+		total := 0
+		for _, v := range vars {
+			if rng.Intn(3) == 0 {
+				continue
+			}
+			w := 1 + rng.Intn(9)
+			total += w
+			terms = append(terms, Term{Var: v, Coef: float64(w)})
+		}
+		if len(terms) < 3 {
+			continue
+		}
+		m.AddConstraint(terms, LE, float64(total/2), "cap")
+	}
+	return m
+}

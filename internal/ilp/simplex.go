@@ -13,6 +13,12 @@ import (
 // per row, and phase-1 artificial variables. The basis is maintained as a
 // sparse LU factorization plus a product-form eta file, refactored
 // periodically.
+//
+// Memory layout is struct-of-arrays: the structural and slack columns
+// live in one immutable cscMatrix shared by every branch & bound clone,
+// artificials are singleton (row, val) tails appended per solver, and
+// all per-iteration vectors are preallocated scratch — the simplex inner
+// loop performs no heap allocation.
 
 // Variable states.
 const (
@@ -40,6 +46,9 @@ const (
 	lpInfeasible
 	lpUnbounded
 	lpTimeLimit
+	// lpDualStall: the warm-start dual simplex exceeded its iteration
+	// budget; the caller must fall back to the cold solve path.
+	lpDualStall
 )
 
 // errLPNumerics reports an unrecoverable numerical failure.
@@ -57,11 +66,17 @@ type eta struct {
 type lpSolver struct {
 	m, n  int // rows; total columns (structural+slack+artificial)
 	nOrig int // structural variable count
-	cols  [][]entry
+	nBase int // structural + slack columns; artificials sit above
+	mat   *cscMatrix
 	lo    []float64
 	hi    []float64
 	obj   []float64 // phase-2 objective
 	rhs   []float64
+
+	// Artificial columns are singletons appended above nBase: column
+	// nBase+k has one entry (artRow[k], artVal[k]).
+	artRow []int32
+	artVal []float64
 
 	basic  []int // var index basic at each row position
 	state  []int8
@@ -76,8 +91,18 @@ type lpSolver struct {
 	refactors int // LU refactorizations performed
 	deadline  time.Time
 
-	// bufA is a scratch row vector reused by refactorize.
-	bufA []float64
+	// Scratch, allocated once per solver (arena-style) and reused by
+	// every node LP the solver runs.
+	bufA  []float64 // refactorize right-hand-side accumulator
+	luX   []float64 // inner scratch for ftranInto/btranInto
+	selY  []float64 // simplex loop duals
+	selW  []float64 // simplex loop entering column
+	rho   []float64 // dual simplex pivot-row scratch
+	luWS  luWorkspace
+	bPtr  []int32 // basis gather scratch for refactorize
+	bRows []int32
+	bVals []float64
+
 	// priceCursor is the rolling start position for partial pricing;
 	// priceWindow widens on degenerate pivots (zigzag guard) and resets
 	// after real progress. fullPricing forces a complete scan always.
@@ -88,33 +113,41 @@ type lpSolver struct {
 
 // newLPSolver builds standard form from a model's continuous relaxation,
 // using the bounds arrays provided (which may be tightened copies of the
-// model's own bounds).
-func newLPSolver(m *Model, lo, hi []float64) *lpSolver {
+// model's own bounds). extra holds rows appended after the model's own
+// constraints (root cutting planes); pass nil for the plain relaxation.
+func newLPSolver(m *Model, lo, hi []float64, extra []Constraint) *lpSolver {
 	nStruct := len(m.vars)
-	nRows := len(m.cons)
+	rows := m.cons
+	if len(extra) > 0 {
+		rows = make([]Constraint, 0, len(m.cons)+len(extra))
+		rows = append(rows, m.cons...)
+		rows = append(rows, extra...)
+	}
+	nRows := len(rows)
+	base := nStruct + nRows
 	s := &lpSolver{
 		m:     nRows,
 		nOrig: nStruct,
+		nBase: base,
+		n:     base,
 		rhs:   make([]float64, nRows),
+		mat:   buildStandardForm(nStruct, rows),
 	}
-	total := nStruct + nRows // + artificials appended later
-	s.cols = make([][]entry, total, total+nRows)
-	s.lo = make([]float64, total, total+nRows)
-	s.hi = make([]float64, total, total+nRows)
-	s.obj = make([]float64, total, total+nRows)
+	// One slab for the three bounds/objective arrays (lo, hi, obj), each
+	// with headroom for per-row artificials.
+	seg := base + nRows
+	slab := make([]float64, 3*seg)
+	s.lo = slab[0*seg : 0*seg+base : 1*seg]
+	s.hi = slab[1*seg : 1*seg+base : 2*seg]
+	s.obj = slab[2*seg : 2*seg+base : 3*seg]
 	for j := 0; j < nStruct; j++ {
 		s.lo[j], s.hi[j] = lo[j], hi[j]
 		s.obj[j] = m.vars[j].obj
 	}
-	// Rows and slacks.
-	for i, c := range m.cons {
-		for _, t := range c.Terms {
-			s.cols[t.Var] = append(s.cols[t.Var], entry{row: i, val: t.Coef})
-		}
-		s.rhs[i] = c.RHS
+	for i := range rows {
+		s.rhs[i] = rows[i].RHS
 		sl := nStruct + i
-		s.cols[sl] = []entry{{row: i, val: 1}}
-		switch c.Op {
+		switch rows[i].Op {
 		case LE:
 			s.lo[sl], s.hi[sl] = 0, Inf
 		case GE:
@@ -123,37 +156,49 @@ func newLPSolver(m *Model, lo, hi []float64) *lpSolver {
 			s.lo[sl], s.hi[sl] = 0, 0
 		}
 	}
-	s.n = total
-	s.bufA = make([]float64, nRows)
+	s.initScratch()
 	return s
 }
 
+// initScratch allocates the per-solver reusable buffers.
+func (s *lpSolver) initScratch() {
+	s.bufA = make([]float64, s.m)
+	s.luX = make([]float64, s.m)
+	s.selY = make([]float64, s.m)
+	s.selW = make([]float64, s.m)
+	s.rho = make([]float64, s.m)
+	s.bPtr = make([]int32, s.m+1)
+	s.artRow = make([]int32, 0, s.m)
+	s.artVal = make([]float64, 0, s.m)
+}
+
 // clone returns an independent solver over the same LP for a branch &
-// bound worker. The immutable problem data (rhs and the structural/slack
-// column entry slices) is shared; everything a node solve mutates —
-// bound arrays, states, basis, scratch — gets fresh backing arrays
-// truncated to the artificial-free base, so concurrent clones never
-// touch common memory. A clone's basis list may reference dropped
-// artificial columns, so it must be driven through
-// resolveAfterBoundChange (which rebuilds the basis) before any other
-// use.
+// bound worker. The immutable problem data (rhs and the CSC matrix) is
+// shared; everything a node solve mutates — bound arrays, states, basis,
+// scratch — gets fresh backing arrays truncated to the artificial-free
+// base, so concurrent clones never touch common memory. A clone's basis
+// list may reference dropped artificial columns, so it must be driven
+// through resolveAfterBoundChange (which rebuilds the basis) or a
+// snapshot install before any other use.
 func (s *lpSolver) clone() *lpSolver {
-	base := s.nOrig + s.m
+	base := s.nBase
 	c := &lpSolver{
 		m:           s.m,
 		n:           base,
 		nOrig:       s.nOrig,
+		nBase:       base,
+		mat:         s.mat,
 		rhs:         s.rhs,
 		deadline:    s.deadline,
 		fullPricing: s.fullPricing,
 	}
-	c.cols = make([][]entry, base, base+s.m)
-	copy(c.cols, s.cols[:base])
-	c.lo = make([]float64, base, base+s.m)
+	seg := base + s.m
+	slab := make([]float64, 3*seg)
+	c.lo = slab[0*seg : 0*seg+base : 1*seg]
 	copy(c.lo, s.lo[:base])
-	c.hi = make([]float64, base, base+s.m)
+	c.hi = slab[1*seg : 1*seg+base : 2*seg]
 	copy(c.hi, s.hi[:base])
-	c.obj = make([]float64, base, base+s.m)
+	c.obj = slab[2*seg : 2*seg+base : 3*seg]
 	copy(c.obj, s.obj[:base])
 	c.state = make([]int8, base, base+s.m)
 	copy(c.state, s.state[:base])
@@ -161,8 +206,33 @@ func (s *lpSolver) clone() *lpSolver {
 	copy(c.basic, s.basic)
 	c.xB = make([]float64, s.m)
 	copy(c.xB, s.xB)
-	c.bufA = make([]float64, s.m)
+	c.initScratch()
 	return c
+}
+
+// colDot returns y · a_j for column j of the standard-form matrix.
+func (s *lpSolver) colDot(j int, y []float64) float64 {
+	if j < s.nBase {
+		d := 0.0
+		for p := s.mat.ptr[j]; p < s.mat.ptr[j+1]; p++ {
+			d += y[s.mat.rows[p]] * s.mat.vals[p]
+		}
+		return d
+	}
+	k := j - s.nBase
+	return y[s.artRow[k]] * s.artVal[k]
+}
+
+// scatterCol adds scale * a_j into out (dense by row).
+func (s *lpSolver) scatterCol(j int, scale float64, out []float64) {
+	if j < s.nBase {
+		for p := s.mat.ptr[j]; p < s.mat.ptr[j+1]; p++ {
+			out[s.mat.rows[p]] += scale * s.mat.vals[p]
+		}
+		return
+	}
+	k := j - s.nBase
+	out[s.artRow[k]] += scale * s.artVal[k]
 }
 
 // initBasis sets every structural variable nonbasic at its nearest finite
@@ -210,11 +280,24 @@ func clamp(v, lo, hi float64) float64 {
 // recomputes basic values from scratch, flushing accumulated drift.
 func (s *lpSolver) refactorize() error {
 	s.refactors++
-	cols := make([][]entry, s.m)
+	// Gather the basis columns into the reusable CSC scratch slabs.
+	s.bRows = s.bRows[:0]
+	s.bVals = s.bVals[:0]
+	s.bPtr[0] = 0
 	for i, v := range s.basic {
-		cols[i] = s.cols[v]
+		if v < s.nBase {
+			for p := s.mat.ptr[v]; p < s.mat.ptr[v+1]; p++ {
+				s.bRows = append(s.bRows, s.mat.rows[p])
+				s.bVals = append(s.bVals, s.mat.vals[p])
+			}
+		} else {
+			k := v - s.nBase
+			s.bRows = append(s.bRows, s.artRow[k])
+			s.bVals = append(s.bVals, s.artVal[k])
+		}
+		s.bPtr[i+1] = int32(len(s.bRows))
 	}
-	f, err := luFactorize(s.m, cols)
+	f, err := luFactorizeCSC(s.m, s.bPtr, s.bRows, s.bVals, &s.luWS)
 	if err != nil {
 		return err
 	}
@@ -232,15 +315,13 @@ func (s *lpSolver) refactorize() error {
 		if xj == 0 {
 			continue
 		}
-		for _, e := range s.cols[j] {
-			r[e.row] -= e.val * xj
-		}
+		s.scatterCol(j, -xj, r)
 	}
 	var rhsCopy []float64
 	if invariant.Enabled {
 		rhsCopy = append([]float64(nil), r[:s.m]...)
 	}
-	s.factor.ftran(r)
+	s.factor.ftranInto(r, s.luX)
 	copy(s.xB, r)
 	if invariant.Enabled {
 		// Residual check: B xB must reproduce the reduced right-hand
@@ -256,9 +337,7 @@ func (s *lpSolver) refactorize() error {
 			}
 		}
 		for i, v := range s.basic {
-			for _, e := range s.cols[v] {
-				res[e.row] -= e.val * s.xB[i]
-			}
+			s.scatterCol(v, -s.xB[i], res)
 		}
 		for i, v := range res {
 			invariant.Assert(math.Abs(v) <= 1e-6*scale,
@@ -273,10 +352,13 @@ func (s *lpSolver) ftran(j int, out []float64) {
 	for i := range out {
 		out[i] = 0
 	}
-	for _, e := range s.cols[j] {
-		out[e.row] += e.val
-	}
-	s.factor.ftran(out)
+	s.scatterCol(j, 1, out)
+	s.factor.ftranInto(out, s.luX)
+	s.applyEtas(out)
+}
+
+// applyEtas pushes a B^{-1}-solve through the product-form eta file.
+func (s *lpSolver) applyEtas(out []float64) {
 	for _, et := range s.etas {
 		xp := out[et.p] / et.wp
 		out[et.p] = xp
@@ -299,6 +381,12 @@ func (s *lpSolver) duals(out []float64) {
 	for i, v := range s.basic {
 		out[i] = s.cost[v]
 	}
+	s.btranApply(out)
+}
+
+// btranApply solves B^T y = v in place for a vector given by basis
+// position, reversing the eta file and then the factored basis.
+func (s *lpSolver) btranApply(out []float64) {
 	for k := len(s.etas) - 1; k >= 0; k-- {
 		et := s.etas[k]
 		acc := out[et.p]
@@ -307,13 +395,25 @@ func (s *lpSolver) duals(out []float64) {
 		}
 		out[et.p] = acc / et.wp
 	}
-	s.factor.btran(out)
+	s.factor.btranInto(out, s.luX)
+}
+
+// ensureCost sizes the active-cost array (reusing its backing) and
+// zeroes it.
+func (s *lpSolver) ensureCost() {
+	if cap(s.cost) < s.n {
+		s.cost = make([]float64, s.n, s.n+s.m)
+	}
+	s.cost = s.cost[:s.n]
+	for i := range s.cost {
+		s.cost[i] = 0
+	}
 }
 
 // phase1Costs installs the infeasibility objective (artificials cost 1).
 func (s *lpSolver) phase1Costs() {
-	s.cost = make([]float64, s.n)
-	for j := s.nOrig + s.m; j < s.n; j++ {
+	s.ensureCost()
+	for j := s.nBase; j < s.n; j++ {
 		s.cost[j] = 1
 	}
 	s.inPhase = 1
@@ -321,9 +421,9 @@ func (s *lpSolver) phase1Costs() {
 
 // phase2Costs installs the true objective and freezes artificials at 0.
 func (s *lpSolver) phase2Costs() {
-	s.cost = make([]float64, s.n)
+	s.ensureCost()
 	copy(s.cost, s.obj)
-	for j := s.nOrig + s.m; j < s.n; j++ {
+	for j := s.nBase; j < s.n; j++ {
 		s.lo[j], s.hi[j] = 0, 0
 	}
 	s.inPhase = 2
@@ -363,10 +463,7 @@ func (s *lpSolver) price(y []float64, bland bool) int {
 		if st == stBasic || s.lo[j] == s.hi[j] {
 			return 0
 		}
-		d := s.cost[j]
-		for _, e := range s.cols[j] {
-			d -= y[e.row] * e.val
-		}
+		d := s.cost[j] - s.colDot(j, y)
 		if st == stLower {
 			return -d // want d < 0
 		}
@@ -411,8 +508,8 @@ func (s *lpSolver) solve() (lpStatus, error) {
 			return 0, err
 		}
 	}
-	y := make([]float64, s.m)
-	w := make([]float64, s.m)
+	y := s.selY
+	w := s.selW
 	degen := 0
 	for {
 		s.iters++
@@ -515,24 +612,31 @@ func (s *lpSolver) solve() (lpStatus, error) {
 		s.basic[leave] = q
 		s.state[q] = stBasic
 		s.xB[leave] = enterVal
-		// Record eta (w as of the pre-change basis).
-		wp := w[leave]
-		if math.Abs(wp) < pivotTol {
-			return 0, errLPNumerics
-		}
-		var wn []entry
-		for i := 0; i < s.m; i++ {
-			if i != leave && math.Abs(w[i]) > zeroTol {
-				wn = append(wn, entry{row: i, val: w[i]})
-			}
-		}
-		s.etas = append(s.etas, eta{p: leave, w: wn, wp: wp})
-		if len(s.etas) >= maxEtas {
-			if err := s.refactorize(); err != nil {
-				return 0, err
-			}
+		if err := s.pushEta(leave, w); err != nil {
+			return 0, err
 		}
 	}
+}
+
+// pushEta records the basis change at position leave with entering
+// column w (as of the pre-change basis), refactorizing when the eta
+// file is full.
+func (s *lpSolver) pushEta(leave int, w []float64) error {
+	wp := w[leave]
+	if math.Abs(wp) < pivotTol {
+		return errLPNumerics
+	}
+	var wn []entry
+	for i := 0; i < s.m; i++ {
+		if i != leave && math.Abs(w[i]) > zeroTol {
+			wn = append(wn, entry{row: i, val: w[i]})
+		}
+	}
+	s.etas = append(s.etas, eta{p: leave, w: wn, wp: wp})
+	if len(s.etas) >= maxEtas {
+		return s.refactorize()
+	}
+	return nil
 }
 
 // solveLP runs phase 1 then phase 2 from the current basis.
@@ -556,7 +660,7 @@ func (s *lpSolver) solveLP() (lpStatus, error) {
 // needsPhase1 reports whether any artificial is positive.
 func (s *lpSolver) needsPhase1() bool {
 	for i, b := range s.basic {
-		if b >= s.nOrig+s.m && s.xB[i] > feasTol {
+		if b >= s.nBase && s.xB[i] > feasTol {
 			return true
 		}
 	}
@@ -567,11 +671,11 @@ func (s *lpSolver) needsPhase1() bool {
 func (s *lpSolver) phase1Objective() float64 {
 	v := 0.0
 	for i, b := range s.basic {
-		if b >= s.nOrig+s.m {
+		if b >= s.nBase {
 			v += s.xB[i]
 		}
 	}
-	for j := s.nOrig + s.m; j < s.n; j++ {
+	for j := s.nBase; j < s.n; j++ {
 		if s.state[j] != stBasic {
 			v += s.nonbasicValue(j)
 		}
@@ -669,20 +773,26 @@ func (s *lpSolver) primalRepair() (lpStatus, error) {
 	return lpOptimal, nil
 }
 
+// dropArtificials truncates the artificial column tail, restoring the
+// solver's column space to the shared structural+slack base.
+func (s *lpSolver) dropArtificials() {
+	base := s.nBase
+	s.artRow = s.artRow[:0]
+	s.artVal = s.artVal[:0]
+	s.lo = s.lo[:base]
+	s.hi = s.hi[:base]
+	s.obj = s.obj[:base]
+	if len(s.state) > base {
+		s.state = s.state[:base]
+	}
+	s.n = base
+}
+
 // rebuildFromStates drops all artificials and reconstructs a feasible
 // starting basis: slacks basic where possible, artificials elsewhere.
 // Structural nonbasic states are preserved (snapped into bounds).
 func (s *lpSolver) rebuildFromStates() {
-	// Truncate artificial columns.
-	base := s.nOrig + s.m
-	s.cols = s.cols[:base]
-	s.lo = s.lo[:base]
-	s.hi = s.hi[:base]
-	s.obj = s.obj[:base]
-	st := make([]int8, base, base+s.m)
-	copy(st, s.state[:base])
-	s.state = st
-	s.n = base
+	s.dropArtificials()
 	// Snap structural nonbasics into bounds; make all slacks nonbasic
 	// then rebuild residuals.
 	for j := 0; j < s.nOrig; j++ {
@@ -699,7 +809,7 @@ func (s *lpSolver) rebuildFromStates() {
 			s.state[j] = stLower
 		}
 	}
-	r := make([]float64, s.m)
+	r := s.bufA
 	copy(r, s.rhs)
 	for j := 0; j < s.nOrig; j++ {
 		xj := s.nonbasicValue(j)
@@ -707,9 +817,7 @@ func (s *lpSolver) rebuildFromStates() {
 		if xj == 0 {
 			continue
 		}
-		for _, e := range s.cols[j] {
-			r[e.row] -= e.val * xj
-		}
+		s.scatterCol(j, -xj, r)
 	}
 	for i := 0; i < s.m; i++ {
 		sl := s.nOrig + i
@@ -730,8 +838,9 @@ func (s *lpSolver) rebuildFromStates() {
 		if resid < 0 {
 			sign = -1
 		}
-		av := len(s.cols)
-		s.cols = append(s.cols, []entry{{row: i, val: sign}})
+		av := s.nBase + len(s.artRow)
+		s.artRow = append(s.artRow, int32(i))
+		s.artVal = append(s.artVal, sign)
 		s.lo = append(s.lo, 0)
 		s.hi = append(s.hi, Inf)
 		s.obj = append(s.obj, 0)
@@ -739,7 +848,7 @@ func (s *lpSolver) rebuildFromStates() {
 		s.basic[i] = av
 		s.xB[i] = math.Abs(resid)
 	}
-	s.n = len(s.cols)
+	s.n = s.nBase + len(s.artRow)
 	s.factor = nil
 	s.etas = s.etas[:0]
 }

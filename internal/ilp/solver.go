@@ -25,6 +25,10 @@ type Options struct {
 	// FullPricing forces full Dantzig pricing on every simplex
 	// iteration instead of partial pricing (debug/ablation).
 	FullPricing bool
+	// DisableCuts turns off root cover-cut separation (ablation and the
+	// cuts-identity check; default on). Cuts never change the returned
+	// optimum — only how fast the search proves it.
+	DisableCuts bool
 	// Workers is the number of branch & bound worker goroutines
 	// (0 = GOMAXPROCS). The solve status, objective, and solution are
 	// independent of the worker count: nodes are expanded in fixed-size
@@ -134,6 +138,8 @@ func solve(m *Model, opts Options, start time.Time) (Solution, error) {
 		nodeCap:     opts.NodeLimit,
 		stats:       stats,
 		fullPricing: opts.FullPricing,
+		disableCuts: opts.DisableCuts,
+		presolveOff: opts.DisablePresolve,
 		workers:     workers,
 		sink:        opts.Sink,
 		span:        opts.Span,
@@ -277,6 +283,25 @@ const (
 	tieTol = 1e-6
 )
 
+// Pseudocost / reliability branching constants. All selection happens
+// in the sequential sections (run and the merge loop), so the
+// pseudocost tables never race and the branching decisions are a pure
+// function of the instance.
+const (
+	// relK is the reliability threshold: a variable is strong-branched
+	// until it has this many real observations per direction.
+	relK = 4
+	// sbMaxPerNode caps how many candidates one node may strong-branch
+	// (most fractional first, ties by index).
+	sbMaxPerNode = 4
+	// sbIterCap bounds each strong-branch trial's dual simplex pivots;
+	// a truncated trial still yields a usable objective-gain estimate.
+	sbIterCap = 100
+	// sbTotalBudget caps strong-branch trials per solve, bounding the
+	// reliability phase on instances with many variables.
+	sbTotalBudget = 256
+)
+
 // bnb is the branch & bound driver. Parallelism is deterministic by
 // construction: the frontier is a LIFO deque of self-contained work
 // items; each round pops a fixed-size batch in deque order, a worker
@@ -301,8 +326,29 @@ type bnb struct {
 
 	objIntegral bool
 	fullPricing bool
+	disableCuts bool
+	presolveOff bool
 
 	deque []*workItem // LIFO: dive-first children are pushed last
+
+	// Pseudocost state: per-variable per-unit objective-gain averages
+	// from real child solves and reliability strong-branch trials, plus
+	// global totals used as priors for unobserved variables. Mutated
+	// only in sequential sections.
+	pcDownSum, pcUpSum []float64
+	pcDownCnt, pcUpCnt []int
+	pcObsDownSum       float64
+	pcObsUpSum         float64
+	pcObsDownCnt       int
+	pcObsUpCnt         int
+
+	// Strong-branching scratch: sbSolver is the sequential-phase solver
+	// (worker 0's), reused for trial solves between batches; sbLo/sbHi
+	// are trial bound buffers; sbEvalsLeft is the per-solve budget.
+	sbSolver    *lpSolver
+	sbLo, sbHi  []float64
+	sbEvalsLeft int
+	candBuf     []int
 
 	incumbent    []float64
 	incumbentObj float64
@@ -330,6 +376,16 @@ type workItem struct {
 	bound  float64   // parent's pruning bound (ceiled when the objective is integral)
 	raw    float64   // parent's raw LP objective, for monotonicity checks
 
+	// snap is the parent's factored basis (shared read-only by both
+	// children); nil forces the cold solve path. branchVar/branchUp/frac
+	// record the branching decision that created the item: the warm
+	// start applies it as a single bound delta, and the merge feeds the
+	// observed objective gain back into the pseudocost tables.
+	snap      *basisSnapshot
+	branchVar int
+	branchUp  bool
+	frac      float64 // parent LP fractional part of branchVar
+
 	// id is the 1-based expansion number (assigned when the item is
 	// popped and counted as a node; the root is 1). parent/depth identify
 	// the item's place in the tree for trace events; none of the three
@@ -344,11 +400,13 @@ type workItem struct {
 type nodeResult struct {
 	st        lpStatus
 	err       error
-	raw       float64   // LP objective at the node
-	x         []float64 // structural primal values
-	state     []int8    // post-solve nonbasic states (structurals+slacks)
-	iters     int       // simplex iterations spent on this node
-	refactors int       // LU refactorizations spent on this node
+	raw       float64        // LP objective at the node
+	x         []float64      // structural primal values
+	state     []int8         // post-solve nonbasic states (structurals+slacks)
+	snap      *basisSnapshot // post-solve factored basis for the children (nil: not reusable)
+	warm      bool           // the node reused its parent's basis (dual-simplex warm start)
+	iters     int            // simplex iterations spent on this node
+	refactors int            // LU refactorizations spent on this node
 }
 
 func (b *bnb) run(lo, hi []float64) (Solution, error) {
@@ -362,7 +420,7 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 		}
 	}
 	rootSp := b.span.Child("root_lp")
-	s := newLPSolver(m, lo, hi)
+	s := newLPSolver(m, lo, hi, nil)
 	s.deadline = b.deadline
 	s.fullPricing = b.fullPricing
 	s.initBasis()
@@ -385,6 +443,37 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 		return b.noSolution(LimitReached)
 	}
 
+	if !b.disableCuts {
+		cutSp := b.span.Child("cuts")
+		var cst lpStatus
+		s, cst, err = b.rootCutLoop(s, lo, hi)
+		cutSp.SetCount("cuts", int64(b.stats.CutsAdded))
+		cutSp.End()
+		if err != nil {
+			return Solution{}, err
+		}
+		switch cst {
+		case lpInfeasible:
+			return b.noSolution(Infeasible)
+		case lpUnbounded:
+			return b.noSolution(Unbounded)
+		case lpTimeLimit:
+			b.hitDeadline = true
+			return b.noSolution(LimitReached)
+		}
+	}
+
+	// Pseudocost and strong-branch state (sequential sections only).
+	nv := len(m.vars)
+	b.pcDownSum = make([]float64, nv)
+	b.pcUpSum = make([]float64, nv)
+	b.pcDownCnt = make([]int, nv)
+	b.pcUpCnt = make([]int, nv)
+	b.sbSolver = s
+	b.sbLo = make([]float64, s.nOrig)
+	b.sbHi = make([]float64, s.nOrig)
+	b.sbEvalsLeft = sbTotalBudget
+
 	b.incumbentObj = math.Inf(1)
 	b.stats.Nodes = 1 // root
 
@@ -399,22 +488,24 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 	}
 
 	rootX := s.primalValues()
-	if frac := b.fracVar(rootX); frac >= 0 {
+	root := &workItem{
+		lo:        append([]float64(nil), s.lo[:s.nOrig]...),
+		hi:        append([]float64(nil), s.hi[:s.nOrig]...),
+		id:        1,
+		branchVar: -1,
+	}
+	rootRes := nodeResult{
+		raw:   rootRaw,
+		x:     rootX,
+		state: append([]int8(nil), s.state[:s.nBase]...),
+		snap:  s.captureSnapshot(),
+	}
+	if frac := b.selectBranch(root, &rootRes); frac >= 0 {
 		b.stats.Branched++
 		if b.sink != nil {
 			f := rootX[frac] - math.Floor(rootX[frac])
 			b.emit(obs.Event{Kind: obs.KindNode, Node: 1, Outcome: obs.OutcomeBranched,
 				Bound: rootBound, BranchVar: frac, Frac: math.Min(f, 1-f), Gap: -1})
-		}
-		root := &workItem{
-			lo: append([]float64(nil), s.lo[:s.nOrig]...),
-			hi: append([]float64(nil), s.hi[:s.nOrig]...),
-			id: 1,
-		}
-		rootRes := nodeResult{
-			raw:   rootRaw,
-			x:     rootX,
-			state: append([]int8(nil), s.state[:s.nOrig+s.m]...),
 		}
 		b.deque = b.makeChildren(root, &rootRes, frac)
 		searchSp := b.span.Child("search")
@@ -652,20 +743,34 @@ func (b *bnb) solveBatch(solvers []*lpSolver, batch []*workItem, res []nodeResul
 // bit-identical no matter which worker solves it or what it solved
 // before.
 func solveNode(s *lpSolver, it *workItem) nodeResult {
-	copy(s.lo[:s.nOrig], it.lo)
-	copy(s.hi[:s.nOrig], it.hi)
-	copy(s.state[:s.nOrig+s.m], it.state)
-	s.priceCursor, s.priceWindow = 0, 0
 	startIters, startRefactors := s.iters, s.refactors
-	st, err := s.resolveAfterBoundChange()
-	r := nodeResult{st: st, err: err,
+	var st lpStatus
+	var err error
+	warm := false
+	if it.snap != nil {
+		if wst, ok, werr := warmSolveNode(s, it); ok {
+			st, err, warm = wst, werr, true
+		}
+	}
+	if !warm {
+		// Cold path: rebuild a repair basis from the parent's nonbasic
+		// states, phase 1, phase 2. Also the deterministic fallback when
+		// the warm start stalls or hits numerics.
+		copy(s.lo[:s.nOrig], it.lo)
+		copy(s.hi[:s.nOrig], it.hi)
+		copy(s.state[:s.nBase], it.state)
+		s.priceCursor, s.priceWindow = 0, 0
+		st, err = s.resolveAfterBoundChange()
+	}
+	r := nodeResult{st: st, err: err, warm: warm,
 		iters: s.iters - startIters, refactors: s.refactors - startRefactors}
 	if err != nil || st != lpOptimal {
 		return r
 	}
 	r.raw = s.structuralObjective()
 	r.x = s.primalValues()
-	r.state = append([]int8(nil), s.state[:s.nOrig+s.m]...)
+	r.state = append([]int8(nil), s.state[:s.nBase]...)
+	r.snap = s.captureSnapshot()
 	return r
 }
 
@@ -675,6 +780,9 @@ func solveNode(s *lpSolver, it *workItem) nodeResult {
 func (b *bnb) mergeNode(it *workItem, r *nodeResult) error {
 	b.stats.SimplexIters += r.iters
 	b.stats.LURefactors += r.refactors
+	if r.warm {
+		b.stats.WarmStartReuses++
+	}
 	if r.err != nil {
 		return r.err
 	}
@@ -705,6 +813,21 @@ func (b *bnb) mergeNode(it *workItem, r *nodeResult) error {
 	// start resumed from a corrupted basis.
 	invariant.Assert(r.raw >= it.raw-1e-6,
 		"branch&bound: child LP bound %g below parent bound %g", r.raw, it.raw)
+	// Feed the observed per-unit objective gain of this branching back
+	// into the pseudocost tables (sequential section: no races).
+	if it.branchVar >= 0 {
+		gain := r.raw - it.raw
+		if gain < 0 {
+			gain = 0
+		}
+		den := it.frac
+		if it.branchUp {
+			den = 1 - it.frac
+		}
+		if den > 1e-9 {
+			b.recordPseudocost(it.branchVar, it.branchUp, gain/den)
+		}
+	}
 	bound := r.raw
 	if b.objIntegral {
 		bound = math.Ceil(bound - 1e-6)
@@ -717,7 +840,7 @@ func (b *bnb) mergeNode(it *workItem, r *nodeResult) error {
 		}
 		return nil
 	}
-	if f := b.fracVar(r.x); f >= 0 {
+	if f := b.selectBranch(it, r); f >= 0 {
 		b.stats.Branched++
 		if b.sink != nil {
 			e := b.nodeEvent(it, r, obs.OutcomeBranched, bound)
@@ -766,15 +889,16 @@ func (b *bnb) makeChildren(it *workItem, r *nodeResult, j int) []*workItem {
 	if b.objIntegral {
 		bound = math.Ceil(bound - 1e-6)
 	}
-	mk := func(lo0, hi0 float64) *workItem {
+	mk := func(lo0, hi0 float64, up bool) *workItem {
 		lo := append([]float64(nil), it.lo...)
 		hi := append([]float64(nil), it.hi...)
 		lo[j], hi[j] = lo0, hi0
 		return &workItem{lo: lo, hi: hi, state: r.state, bound: bound, raw: r.raw,
+			snap: r.snap, branchVar: j, branchUp: up, frac: x - floor,
 			parent: it.id, depth: it.depth + 1}
 	}
-	down := mk(it.lo[j], floor)
-	up := mk(floor+1, it.hi[j])
+	down := mk(it.lo[j], floor, false)
+	up := mk(floor+1, it.hi[j], true)
 	if x-floor <= 0.5 {
 		return []*workItem{up, down} // dive toward floor first
 	}
@@ -841,6 +965,225 @@ func (b *bnb) fracVar(x []float64) int {
 		}
 	}
 	return best
+}
+
+// rootCutLoop strengthens the root relaxation with lifted cover cuts:
+// separate at the current LP point, age the pool, propagate bounds over
+// the fresh cut rows, rebuild the LP with the active cuts, and
+// re-solve. Returns the solver holding the final (possibly cut-
+// augmented) relaxation — the whole search then runs against that row
+// set, so work-item state vectors stay shape-consistent.
+func (b *bnb) rootCutLoop(s *lpSolver, lo, hi []float64) (*lpSolver, lpStatus, error) {
+	pool := newCutPool()
+	for round := 1; round <= cutRoundLimit; round++ {
+		x := s.primalValues()
+		if b.fracVar(x) < 0 {
+			break // relaxation already integral; cuts cannot tighten it
+		}
+		aged := pool.age(x)
+		fresh := separateCovers(b.model, lo, hi, x, pool)
+		if len(fresh) == 0 && !aged {
+			break
+		}
+		b.stats.CutsAdded += len(fresh)
+		b.stats.CutRoundsRoot = round
+		if b.sink != nil {
+			for _, c := range fresh {
+				b.emit(obs.Event{Kind: obs.KindCut, Node: round, Iters: len(c.Terms),
+					Bound: c.RHS, BranchVar: -1, Gap: -1})
+			}
+		}
+		if !b.presolveOff {
+			// Cuts are valid for every integer point, so bound propagation
+			// over them is sound and can fix variables before the re-solve.
+			for _, c := range fresh {
+				if propagateLE(b.model, c.Terms, c.RHS, lo, hi, &b.stats) == presolveInfeasible {
+					return s, lpInfeasible, nil
+				}
+			}
+		}
+		ns := newLPSolver(b.model, lo, hi, pool.rows())
+		ns.deadline = b.deadline
+		ns.fullPricing = b.fullPricing
+		ns.initBasis()
+		st, err := ns.solveLP()
+		b.stats.SimplexIters += ns.iters
+		b.stats.LURefactors += ns.refactors
+		if err != nil {
+			return s, 0, err
+		}
+		if st != lpOptimal {
+			return ns, st, nil
+		}
+		s = ns
+	}
+	return s, lpOptimal, nil
+}
+
+// selectBranch picks the branching variable for a solved node by
+// pseudocost product score, falling back to the global-average prior
+// (1.0 before any observation, which degenerates to most-fractional)
+// for variables without history. Candidates below the reliability
+// threshold are strong-branched first. Ties break to the lowest
+// variable index, so selection is deterministic.
+func (b *bnb) selectBranch(it *workItem, r *nodeResult) int {
+	cands := b.candBuf[:0]
+	for j, v := range b.model.vars {
+		if !v.integer {
+			continue
+		}
+		f := r.x[j] - math.Floor(r.x[j])
+		if math.Min(f, 1-f) > 1e-6 {
+			cands = append(cands, j)
+		}
+	}
+	b.candBuf = cands
+	if len(cands) == 0 {
+		return -1
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	b.reliabilityInit(it, r, cands)
+	gDown, gUp := 1.0, 1.0
+	if b.pcObsDownCnt > 0 {
+		gDown = b.pcObsDownSum / float64(b.pcObsDownCnt)
+	}
+	if b.pcObsUpCnt > 0 {
+		gUp = b.pcObsUpSum / float64(b.pcObsUpCnt)
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for _, j := range cands {
+		f := r.x[j] - math.Floor(r.x[j])
+		dd, du := gDown, gUp
+		if b.pcDownCnt[j] > 0 {
+			dd = b.pcDownSum[j] / float64(b.pcDownCnt[j])
+		}
+		if b.pcUpCnt[j] > 0 {
+			du = b.pcUpSum[j] / float64(b.pcUpCnt[j])
+		}
+		// The fractionality term keeps selection sane when every observed
+		// gain is zero (common on degenerate placement LPs): the product
+		// then ties near 1e-18 for all candidates and the 1e-12-weighted
+		// term decides, reproducing most-fractional branching. With any
+		// real pseudocost signal it is negligible.
+		score := math.Max(dd*f, 1e-9)*math.Max(du*(1-f), 1e-9) + 1e-12*f*(1-f)
+		if score > bestScore {
+			bestScore, best = score, j
+		}
+	}
+	return best
+}
+
+// reliabilityInit strong-branches the node's least-reliable candidates
+// (fewest pseudocost observations), seeding their tables with real
+// dual-simplex objective gains. Runs on the sequential-phase solver
+// only; every trial is bounded by sbIterCap and the global budget.
+func (b *bnb) reliabilityInit(it *workItem, r *nodeResult, cands []int) {
+	if r.snap == nil || b.sbSolver == nil || b.sbEvalsLeft <= 0 {
+		return
+	}
+	need := make([]int, 0, len(cands))
+	for _, j := range cands {
+		cnt := b.pcDownCnt[j]
+		if b.pcUpCnt[j] < cnt {
+			cnt = b.pcUpCnt[j]
+		}
+		if cnt < relK {
+			need = append(need, j)
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	// Most fractional first; exact-tie order falls back to the variable
+	// index, so the trial sequence is deterministic.
+	sort.Slice(need, func(a, c int) bool {
+		fa := r.x[need[a]] - math.Floor(r.x[need[a]])
+		fc := r.x[need[c]] - math.Floor(r.x[need[c]])
+		da, dc := math.Min(fa, 1-fa), math.Min(fc, 1-fc)
+		//lint:exactfloat deterministic sort key: any exact-tie order is fine, but it must not depend on tolerance
+		if da != dc {
+			return da > dc
+		}
+		return need[a] < need[c]
+	})
+	if len(need) > sbMaxPerNode {
+		need = need[:sbMaxPerNode]
+	}
+	for _, j := range need {
+		if b.sbEvalsLeft <= 0 {
+			return
+		}
+		f := r.x[j] - math.Floor(r.x[j])
+		itersBefore := b.stats.SimplexIters
+		downObj := b.sbTrial(it, r, j, false)
+		upObj := b.sbTrial(it, r, j, true)
+		if f > 1e-9 && !math.IsInf(downObj, 1) {
+			b.recordPseudocost(j, false, math.Max(downObj-r.raw, 0)/f)
+		}
+		if 1-f > 1e-9 && !math.IsInf(upObj, 1) {
+			b.recordPseudocost(j, true, math.Max(upObj-r.raw, 0)/(1-f))
+		}
+		if b.sink != nil {
+			b.emit(obs.Event{Kind: obs.KindPseudocostInit, Node: it.id, BranchVar: j,
+				Frac: math.Min(f, 1-f), Iters: b.stats.SimplexIters - itersBefore, Gap: -1})
+		}
+	}
+}
+
+// sbTrial estimates one branching direction's objective by a capped
+// dual-simplex reoptimization from the node's snapshot. Returns +Inf
+// when the child is proven infeasible, or the node objective when the
+// trial cannot run (no usable snapshot, numerics) — a neutral estimate.
+func (b *bnb) sbTrial(it *workItem, r *nodeResult, j int, up bool) float64 {
+	s := b.sbSolver
+	copy(b.sbLo, it.lo)
+	copy(b.sbHi, it.hi)
+	fl := math.Floor(r.x[j])
+	if up {
+		b.sbLo[j] = fl + 1
+	} else {
+		b.sbHi[j] = fl
+	}
+	trial := &workItem{lo: b.sbLo, hi: b.sbHi, state: r.state, raw: r.raw,
+		snap: r.snap, branchVar: j, branchUp: up}
+	startIters, startRef := s.iters, s.refactors
+	obj := r.raw
+	if s.installSnapshot(trial) {
+		st, err := s.dualSimplex(sbIterCap)
+		switch {
+		case err != nil:
+			// Numerics: keep the neutral estimate.
+		case st == lpInfeasible:
+			obj = math.Inf(1)
+		default:
+			// Optimal, stalled, or deadline: any dual-feasible basis bounds
+			// the child objective from below — a usable gain estimate.
+			obj = s.structuralObjective()
+		}
+	}
+	b.stats.SimplexIters += s.iters - startIters
+	b.stats.LURefactors += s.refactors - startRef
+	b.stats.StrongBranchEvals++
+	b.sbEvalsLeft--
+	return obj
+}
+
+// recordPseudocost folds one observed per-unit objective gain into the
+// per-variable table and the global prior.
+func (b *bnb) recordPseudocost(j int, up bool, perUnit float64) {
+	if up {
+		b.pcUpSum[j] += perUnit
+		b.pcUpCnt[j]++
+		b.pcObsUpSum += perUnit
+		b.pcObsUpCnt++
+		return
+	}
+	b.pcDownSum[j] += perUnit
+	b.pcDownCnt[j]++
+	b.pcObsDownSum += perUnit
+	b.pcObsDownCnt++
 }
 
 // finish assembles the final solution from a canonical (integer-rounded)

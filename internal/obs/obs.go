@@ -39,6 +39,14 @@ const (
 	KindPresolve = "presolve"
 	// KindRootLP reports the root relaxation (Bound, Iters, Refactors).
 	KindRootLP = "root_lp"
+	// KindCut reports one lifted cover cut accepted into the root pool
+	// (Node carries the separation round, Iters the cut length, Bound the
+	// cut RHS). Emitted only from the sequential root cut loop.
+	KindCut = "cut_added"
+	// KindPseudocostInit reports one reliability strong-branching
+	// initialization (Node, BranchVar, Frac, Iters spent on the trials).
+	// Emitted only from the sequential merge sections.
+	KindPseudocostInit = "pseudocost_init"
 	// KindNode reports one expanded branch & bound node: Node id,
 	// Parent, Depth, LP Bound, the Outcome, and — when branched — the
 	// branching variable and its fractionality.

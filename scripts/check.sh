@@ -75,6 +75,20 @@ if [ "$mode" != "quick" ]; then
     go test -fuzz FuzzPlaceDifferential -fuzztime 10s -run '^$' ./internal/diffcheck/ || fail=1
 fi
 
+# Mirror of CI's nightly paper-scale-smoke job (takes minutes; off by
+# default). One Fig. 7 point at -scale 0.5 must finish inside the
+# budget and diff clean against the committed smoke baseline.
+if [ "${RULEFIT_PAPER_SMOKE:-0}" = "1" ]; then
+    step "paper-scale smoke: one Fig. 7 point at -scale 0.5"
+    go build -o /tmp/rulefit-experiments-smoke ./cmd/experiments || fail=1
+    timeout 600 /tmp/rulefit-experiments-smoke -scale 0.5 -rules 25 -caps 100 \
+        -seeds 1 -workers 1 -timeout 300s -json /tmp/paper-smoke.json || fail=1
+
+    step "paper-scale smoke: benchdiff gate vs committed baseline"
+    go run ./cmd/benchdiff -threshold 1.0 -min-wall-ms 500 \
+        scripts/paper-smoke-baseline.json /tmp/paper-smoke.json || fail=1
+fi
+
 echo
 if [ "$fail" -ne 0 ]; then
     echo "CHECK FAILED"
