@@ -1,0 +1,98 @@
+// Command loaddiff compares two rulefit-load/v1 reports written by
+// cmd/ruleload. It aligns requests by issue index, classifies latency
+// movement with the shared bench noise model (a status-rank change
+// trumps the wall clock), flags placement drift (content-hash changes
+// between runs of the same workload), and compares shed-point knees on
+// sweep reports.
+//
+// Usage:
+//
+//	loaddiff [-threshold R] [-min-wall-ms MS] [-json] [-advisory] OLD NEW
+//	loaddiff -check FILE
+//
+// -check validates a single report against the rulefit-load/v1 schema
+// and exits 0/2 without comparing.
+//
+// Exit status: 0 when no regressions, 1 when any aligned request
+// regressed, any placement drifted, or the sweep knee moved down
+// (suppressed by -advisory), 2 on usage or read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rulefit/internal/bench"
+	"rulefit/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		threshold = flag.Float64("threshold", 0.25, "relative wall-clock change tolerated as noise")
+		minWallMS = flag.Float64("min-wall-ms", 5, "absolute wall-clock change (ms) required to flag")
+		jsonOut   = flag.Bool("json", false, "emit the diff as JSON instead of text")
+		advisory  = flag.Bool("advisory", false, "always exit 0 on successful comparison")
+		check     = flag.String("check", "", "validate FILE against the report schema and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "loaddiff: -check takes no positional arguments")
+			return 2
+		}
+		rep, err := load.ReadReport(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loaddiff: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%s: schema %s ok (%d requests, fingerprint %s)\n",
+			*check, rep.Schema, rep.Total, rep.Workload.Fingerprint)
+		return 0
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: loaddiff [flags] OLD NEW  (or loaddiff -check FILE)")
+		return 2
+	}
+	oldRep, err := load.ReadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loaddiff: %v\n", err)
+		return 2
+	}
+	newRep, err := load.ReadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loaddiff: %v\n", err)
+		return 2
+	}
+
+	d := load.CompareReports(oldRep, newRep, bench.DiffOptions{
+		WallThreshold: *threshold,
+		MinWallMS:     *minWallMS,
+	})
+	if *jsonOut {
+		if err := writeJSON(d); err != nil {
+			fmt.Fprintf(os.Stderr, "loaddiff: %v\n", err)
+			return 2
+		}
+	} else if err := d.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "loaddiff: %v\n", err)
+		return 2
+	}
+	if d.HasRegressions() && !*advisory {
+		return 1
+	}
+	return 0
+}
+
+func writeJSON(d *load.Diff) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,152 @@
+// Command ruleload is the deterministic load harness for the
+// placement daemon: it replays a randgen-seeded workload against a
+// live ruleplaced (or in-process against the core placer), prints one
+// live status line per interval, and writes a machine-readable
+// rulefit-load/v1 report for cmd/loaddiff.
+//
+// Usage:
+//
+//	ruleload [-target URL | -inprocess] [-seed N] [-requests N]
+//	         [-repeat N] [-concurrency N] [-rps R] [-duration D]
+//	         [-merging] [-timelimit SEC] [-out FILE] [-quiet]
+//	         [-sweep] [-shed-threshold R] [-step-requests N]
+//	         [-max-concurrency N]
+//
+// Modes:
+//
+//	closed-loop (default): -concurrency N workers each keep one
+//	    request in flight until the workload is drained.
+//	open-loop: -rps R paces arrivals at a fixed rate regardless of
+//	    completions; -duration caps the issuing phase.
+//	sweep: -sweep searches for the daemon's shed point by offering
+//	    barrier-started waves of rising concurrency, then bisecting to
+//	    the knee — the largest concurrency whose shed rate stays below
+//	    -shed-threshold. The report records the measured steps and the
+//	    served capacity at the knee.
+//
+// The workload is a pure function of -seed: identical invocations
+// replay byte-identical request bodies (the report's workload
+// fingerprint proves it), so two reports diff request-by-request.
+// Live status goes to stderr; the report goes to -out (default
+// stdout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"rulefit/internal/load"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ruleload: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	var (
+		target    = flag.String("target", "", "base URL of a live ruleplaced (e.g. http://localhost:8080)")
+		inprocess = flag.Bool("inprocess", false, "replay through the in-process placer instead of HTTP")
+
+		seed        = flag.Int64("seed", 1, "workload seed")
+		requests    = flag.Int("requests", 16, "distinct workload instances")
+		repeat      = flag.Int("repeat", 1, "replay the workload this many times")
+		concurrency = flag.Int("concurrency", 1, "closed-loop worker count")
+		rps         = flag.Float64("rps", 0, "open-loop arrival rate (0 = closed loop)")
+		duration    = flag.Duration("duration", 0, "open-loop issuing cap (0 = issue everything)")
+		merging     = flag.Bool("merging", false, "request rule merging")
+		timelimit   = flag.Float64("timelimit", 60, "per-request solver time limit (seconds)")
+
+		sweep         = flag.Bool("sweep", false, "search for the shed point instead of a fixed run")
+		shedThreshold = flag.Float64("shed-threshold", 0.5, "sweep: shed rate that counts as saturated")
+		stepRequests  = flag.Int("step-requests", 8, "sweep: requests measured per concurrency level")
+		maxConc       = flag.Int("max-concurrency", 64, "sweep: doubling-phase cap")
+
+		out   = flag.String("out", "", "report file (default stdout)")
+		quiet = flag.Bool("quiet", false, "suppress live status lines")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+	if (*target == "") == !*inprocess {
+		return fmt.Errorf("exactly one of -target or -inprocess is required")
+	}
+
+	var placer load.Placer
+	if *inprocess {
+		placer = load.NewInProcessPlacer(0, 0)
+	} else {
+		placer = load.NewHTTPPlacer(*target, nil)
+	}
+
+	cfg := load.Config{
+		Seed:         *seed,
+		Requests:     *requests,
+		Repeat:       *repeat,
+		Concurrency:  *concurrency,
+		RPS:          *rps,
+		Duration:     *duration,
+		Merging:      *merging,
+		TimeLimitSec: *timelimit,
+	}
+	if !*quiet {
+		cfg.Status = os.Stderr
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	var rep *load.Report
+	var err error
+	if *sweep {
+		rep, err = load.RunSweep(ctx, cfg, load.SweepOpts{
+			ShedThreshold:  *shedThreshold,
+			StepRequests:   *stepRequests,
+			MaxConcurrency: *maxConc,
+		}, placer)
+	} else {
+		rep, err = load.Run(ctx, cfg, placer)
+	}
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		summarize(os.Stderr, rep, time.Since(start))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rep.WriteJSON(w)
+}
+
+// summarize prints the one-paragraph human trailer after a run.
+func summarize(w io.Writer, rep *load.Report, elapsed time.Duration) {
+	fmt.Fprintf(w, "done in %.1fs: %d requests (%d ok, %d shed, %d errors), %.1f rps, p50=%.1fms p99=%.1fms\n",
+		elapsed.Seconds(), rep.Total, rep.OK, rep.Shed, rep.Errors,
+		rep.AchievedRPS, rep.P50MS, rep.P99MS)
+	if rep.Sweep != nil {
+		state := "saturated"
+		if !rep.Sweep.Saturated {
+			state = "never saturated (knee is a lower bound)"
+		}
+		fmt.Fprintf(w, "shed point: knee at %d concurrent, %.1f rps served, %s\n",
+			rep.Sweep.KneeConcurrency, rep.Sweep.CapacityRPS, state)
+	}
+	fmt.Fprintf(w, "workload fingerprint: %s\n", rep.Workload.Fingerprint)
+}

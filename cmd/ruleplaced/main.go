@@ -8,20 +8,29 @@
 //	ruleplaced [-addr :8080] [-debug-addr 127.0.0.1:6060]
 //	           [-max-inflight N] [-max-queue N]
 //	           [-default-timeout 60s] [-max-timeout 10m]
-//	           [-trace-dir DIR] [-drain-timeout 30s]
+//	           [-trace-dir DIR] [-drain-timeout 30s] [-no-slo]
+//	           [-solve-delay D]
 //
 // Endpoints (on -addr):
 //
 //	POST /v1/place     solve a placement: {"problem": <spec JSON>, "options": {...}}
 //	GET  /metrics      Prometheus text exposition (counters, gauges, histograms)
 //	GET  /metrics/json JSON metrics snapshot
+//	GET  /statusz      saturation snapshot: in-flight, queue depth, 1m/5m request and shed rates
 //	GET  /healthz      liveness (200 while the process runs)
 //	GET  /readyz       readiness (503 during drain)
 //
+// Every /v1/place response carries X-Rulefit-Trace-Id (joinable with
+// the daemon's log lines and trace files) and, unless -no-slo is set,
+// a Server-Timing header attributing wall time to pipeline phases
+// (queue_wait, parse, encode, model_build, solve, extract).
+//
 // -debug-addr serves net/http/pprof plus a /metrics mirror, intended
-// for a loopback-only bind. Placements are byte-identical to running
-// core.Place in-process: the daemon only adds observability around the
-// solve, never inside it.
+// for a loopback-only bind. -solve-delay artificially extends each
+// solve-slot occupancy for load experiments (cmd/ruleload -sweep
+// calibration); leave it zero in production. Placements are
+// byte-identical to running core.Place in-process: the daemon only
+// adds observability around the solve, never inside it.
 package main
 
 import (
@@ -55,6 +64,8 @@ func run() error {
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on per-request solver time limits")
 		traceDir     = flag.String("trace-dir", "", "write per-request solver event traces (JSONL) into this directory")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight solves on SIGTERM")
+		noSLO        = flag.Bool("no-slo", false, "disable per-request SLO instrumentation (phase histograms, Server-Timing, /statusz rates)")
+		solveDelay   = flag.Duration("solve-delay", 0, "artificially extend each solve-slot occupancy (load experiments only)")
 	)
 	flag.Parse()
 
@@ -66,6 +77,8 @@ func run() error {
 		MaxTimeLimit:     *maxTimeout,
 		TraceDir:         *traceDir,
 		Logger:           logger,
+		DisableSLO:       *noSLO,
+		SolveDelay:       *solveDelay,
 	})
 	if err := s.Start(*addr); err != nil {
 		return err

@@ -50,6 +50,18 @@ var checkedTypes = []checked{
 		emptyOnly: true,
 		message:   "zero-value obs.HistogramOpts adopts the implicit default bucket layout; state Start/Factor/Count",
 	},
+	{
+		pkgPath:   "rulefit/internal/obs",
+		name:      "WindowOpts",
+		emptyOnly: true,
+		message:   "zero-value obs.WindowOpts adopts the implicit default layout and interval count; state Buckets/Intervals",
+	},
+	{
+		pkgPath:  "rulefit/internal/load",
+		name:     "Config",
+		bounding: []string{"Requests", "Duration"},
+		message:  "load.Config without Requests or Duration: the replay length falls back to an implicit default; state the run bound",
+	},
 }
 
 // Analyzer flags unbounded option literals.

@@ -6,6 +6,7 @@ import (
 
 	"rulefit/internal/daemon"
 	"rulefit/internal/ilp"
+	"rulefit/internal/load"
 	"rulefit/internal/obs"
 	"rulefit/internal/verify"
 )
@@ -23,6 +24,10 @@ func positives() {
 	_ = daemon.Config{MaxQueue: 64}        // want "daemon.Config without MaxInFlight"
 	_ = daemon.Config{TraceDir: "/tmp/tr"} // want "daemon.Config without MaxInFlight"
 	_ = obs.HistogramOpts{}                // want "zero-value obs.HistogramOpts"
+	_ = obs.WindowOpts{}                   // want "zero-value obs.WindowOpts"
+	_ = load.Config{}                      // want "load.Config without Requests or Duration"
+	_ = load.Config{Seed: 7}               // want "load.Config without Requests or Duration"
+	_ = load.Config{Concurrency: 4}        // want "load.Config without Requests or Duration"
 }
 
 func negatives() {
@@ -40,4 +45,9 @@ func negatives() {
 	_ = ilp.Options{}
 	//lint:optzero smoke tool: shedding bound irrelevant for one request
 	_ = daemon.Config{}
+	_ = obs.WindowOpts{Intervals: 5} // non-empty: a window shape was considered
+	_ = load.Config{Requests: 32}
+	_ = load.Config{Duration: time.Second, RPS: 10}
+	//lint:optzero exploratory run: implicit default length acceptable
+	_ = load.Config{}
 }

@@ -277,8 +277,11 @@ func seriesKeyOf(runKey string) string {
 	return parts[0] + "/" + parts[1]
 }
 
-// statusRank orders solve outcomes from best to worst for comparison.
-func statusRank(s string) int {
+// StatusRank orders solve outcomes from best to worst. Comparators
+// over any report family (benchdiff over solver runs, loaddiff over
+// served requests) treat a rank change as trumping the wall clock:
+// losing optimality is a regression even when it got faster.
+func StatusRank(s string) int {
 	switch s {
 	case "optimal":
 		return 0
@@ -293,25 +296,38 @@ func statusRank(s string) int {
 	}
 }
 
-// classify applies the noise model to one aligned pair.
-func classify(o, n RunRecord, opts DiffOptions) Verdict {
-	// An outcome change trumps wall clock: losing optimality (or
-	// feasibility) is a regression even if it got faster, and vice
-	// versa. Infeasible-vs-infeasible stays a wall comparison.
-	if or, nr := statusRank(o.Status), statusRank(n.Status); or != nr {
+// ClassifyWall applies the wall-clock noise model to one aligned
+// measurement pair: a movement counts as regressed/improved only when
+// it clears both the relative threshold and the absolute floor, so
+// sub-millisecond jitter never flips a verdict.
+func (o DiffOptions) ClassifyWall(oldMS, newMS float64) Verdict {
+	o = o.withDefaults()
+	delta := newMS - oldMS
+	if delta > o.MinWallMS && newMS > oldMS*(1+o.WallThreshold) {
+		return VerdictRegressed
+	}
+	if -delta > o.MinWallMS && oldMS > newMS*(1+o.WallThreshold) {
+		return VerdictImproved
+	}
+	return VerdictUnchanged
+}
+
+// Classify is the full shared comparison: a solve-outcome rank change
+// trumps the wall clock (infeasible-vs-infeasible stays a wall
+// comparison); otherwise the noise model decides.
+func (o DiffOptions) Classify(oldStatus, newStatus string, oldMS, newMS float64) Verdict {
+	if or, nr := StatusRank(oldStatus), StatusRank(newStatus); or != nr {
 		if nr > or {
 			return VerdictRegressed
 		}
 		return VerdictImproved
 	}
-	delta := n.WallMS - o.WallMS
-	if delta > opts.MinWallMS && n.WallMS > o.WallMS*(1+opts.WallThreshold) {
-		return VerdictRegressed
-	}
-	if -delta > opts.MinWallMS && o.WallMS > n.WallMS*(1+opts.WallThreshold) {
-		return VerdictImproved
-	}
-	return VerdictUnchanged
+	return o.ClassifyWall(oldMS, newMS)
+}
+
+// classify applies the shared comparison to one aligned run pair.
+func classify(o, n RunRecord, opts DiffOptions) Verdict {
+	return opts.Classify(o.Status, n.Status, o.WallMS, n.WallMS)
 }
 
 // Render writes the human-readable comparison. The layout is stable and

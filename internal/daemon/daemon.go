@@ -64,6 +64,20 @@ type Config struct {
 	// Metrics is the instrument registry the daemon records into and
 	// /metrics exposes (default obs.Default).
 	Metrics *obs.Metrics
+	// DisableSLO turns off the per-request SLO instrumentation: phase
+	// attribution histograms, Server-Timing response headers, and the
+	// /statusz rate rings. Placements are byte-identical either way
+	// (TestSLOInstrumentationNoPlacementEffect); the switch exists to
+	// prove it and to strip the last few microseconds if ever needed.
+	DisableSLO bool
+	// SolveDelay artificially extends each request's solve-slot
+	// occupancy (applied after slot acquisition, before parsing).
+	// Production daemons leave it zero; load experiments set it so the
+	// admission behavior — which requests shed at a given offered
+	// concurrency — is a function of MaxInFlight/MaxQueue rather than
+	// of how fast tiny instances happen to solve. Placement bytes are
+	// unaffected.
+	SolveDelay time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -96,32 +110,39 @@ func (c Config) withDefaults() Config {
 // control. Create with New, serve with Start/Serve (or mount Handler
 // on a test server), stop with Shutdown.
 type Server struct {
-	cfg    Config
-	log    *slog.Logger
-	met    *obs.Metrics
-	sem    chan struct{}
-	seq    atomic.Uint64
-	queued atomic.Int64
-	ready  atomic.Bool
-	mux    *http.ServeMux
-	debug  *http.ServeMux
-	srv    *http.Server
-	ln     net.Listener
+	cfg      Config
+	log      *slog.Logger
+	met      *obs.Metrics
+	sem      chan struct{}
+	seq      atomic.Uint64
+	queued   atomic.Int64
+	ready    atomic.Bool
+	mux      *http.ServeMux
+	debug    *http.ServeMux
+	srv      *http.Server
+	ln       net.Listener
+	started  time.Time
+	reqRing  *secRing // finished requests per second, for /statusz rates
+	shedRing *secRing // 429-shed requests per second
 }
 
 // New builds a server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		log: cfg.Logger,
-		met: cfg.Metrics,
-		sem: make(chan struct{}, cfg.MaxInFlight),
-		mux: http.NewServeMux(),
+		cfg:      cfg,
+		log:      cfg.Logger,
+		met:      cfg.Metrics,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		reqRing:  newSecRing(statusRingSlots),
+		shedRing: newSecRing(statusRingSlots),
 	}
 	s.mux.HandleFunc("/v1/place", s.handlePlace)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics/json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 
@@ -253,6 +274,15 @@ func (ro RequestOptions) build(cfg Config) (core.Options, error) {
 	return opts, nil
 }
 
+// BuildOptions converts the wire options to core.Options with the
+// given time-limit policy, exactly as the daemon does for a served
+// request. The load harness's in-process mode reuses it so both paths
+// solve with identical options (the byte-identity contract).
+func (ro RequestOptions) BuildOptions(defaultLimit, maxLimit time.Duration) (core.Options, error) {
+	cfg := Config{MaxInFlight: 1, DefaultTimeLimit: defaultLimit, MaxTimeLimit: maxLimit}
+	return ro.build(cfg.withDefaults())
+}
+
 // PlaceResponse is the POST /v1/place reply. Placement is the
 // deterministic part: byte-identical for identical (problem, options)
 // pairs regardless of transport, worker count, or attached telemetry.
@@ -344,13 +374,17 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		s.finish(w, r, requestState{code: http.StatusBadRequest, status: "bad_request",
-			err: fmt.Errorf("reading body: %w", err), start: start})
-		return
-	}
+	// The trace ID is derived even when the read failed (from the
+	// partial body), so every response — including this 400 — carries
+	// X-Rulefit-Trace-Id and is joinable with its log line.
 	traceID := obs.TraceIDFor(s.seq.Add(1), body)
 	st := requestState{traceID: traceID, start: start}
+	if err != nil {
+		st.code, st.status = http.StatusBadRequest, "bad_request"
+		st.err = fmt.Errorf("reading body: %w", err)
+		s.finish(w, r, st)
+		return
+	}
 
 	// Admission: MaxInFlight solving, MaxQueue waiting, 429 beyond.
 	if s.queued.Add(1) > int64(s.cfg.MaxInFlight+s.cfg.MaxQueue) {
@@ -362,9 +396,11 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.queued.Add(-1)
 	s.met.QueueDepth().Add(1)
+	admit := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 		s.met.QueueDepth().Add(-1)
+		st.queueWait = time.Since(admit)
 	case <-r.Context().Done():
 		s.met.QueueDepth().Add(-1)
 		st.code, st.status = statusClientClosed, "canceled"
@@ -375,7 +411,11 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	defer func() { <-s.sem }()
 	s.met.InFlight().Add(1)
 	defer s.met.InFlight().Add(-1)
+	if s.cfg.SolveDelay > 0 {
+		time.Sleep(s.cfg.SolveDelay)
+	}
 
+	parseStart := time.Now()
 	var req PlaceRequest
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
@@ -411,7 +451,9 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		s.finish(w, r, st)
 		return
 	}
+	st.parse = time.Since(parseStart)
 	opts.Request = obs.NewRequestCtx(traceID)
+	st.trace = opts.Request.Trace
 
 	var traceFile *os.File
 	var traceJW *obs.JSONLWriter
@@ -459,6 +501,52 @@ type requestState struct {
 	err       error
 	placement *core.Placement
 	start     time.Time
+	queueWait time.Duration // admission to solve-slot acquisition
+	parse     time.Duration // body decode + spec build + option parse
+	trace     *obs.Trace    // request span tree (phase attribution)
+}
+
+// phaseDur is one attributed slice of a request's wall time.
+type phaseDur struct {
+	name string
+	d    time.Duration
+}
+
+// phases flattens the request's per-phase durations: the queue wait
+// and parse intervals measured by the handler, plus the wall time of
+// each child of the core "place" span (encode, model_build, solve,
+// extract). Requests that never reached the solver report only the
+// handler-measured phases.
+func (st requestState) phases() []phaseDur {
+	var out []phaseDur
+	if st.queueWait > 0 {
+		out = append(out, phaseDur{"queue_wait", st.queueWait})
+	}
+	if st.parse > 0 {
+		out = append(out, phaseDur{"parse", st.parse})
+	}
+	for _, root := range st.trace.Roots() {
+		if root.Name() != "place" {
+			continue
+		}
+		for _, ch := range root.Children() {
+			out = append(out, phaseDur{ch.Name(), ch.Wall()})
+		}
+	}
+	return out
+}
+
+// serverTiming renders phases as a Server-Timing header value
+// (metric;dur=milliseconds, comma-separated, in pipeline order).
+func serverTiming(phases []phaseDur) string {
+	var sb bytes.Buffer
+	for i, p := range phases {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s;dur=%.3f", p.name, float64(p.d.Microseconds())/1e3)
+	}
+	return sb.String()
 }
 
 // finish writes the response, the per-request log line, and the
@@ -489,8 +577,26 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, st requestState)
 		level = slog.LevelWarn
 	}
 	s.met.RecordRequest(sample)
+	var phases []phaseDur
+	if !s.cfg.DisableSLO {
+		phases = st.phases()
+		for _, p := range phases {
+			s.met.RecordPhase(p.name, p.d)
+		}
+		now := time.Now().Unix()
+		s.reqRing.addAt(now, 1)
+		if st.status == "shed" {
+			s.shedRing.addAt(now, 1)
+		}
+	}
 	s.log.LogAttrs(r.Context(), level, "place", attrs...)
 
+	if st.traceID != "" {
+		w.Header().Set("X-Rulefit-Trace-Id", st.traceID)
+	}
+	if len(phases) > 0 {
+		w.Header().Set("Server-Timing", serverTiming(phases))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(st.code)
 	enc := json.NewEncoder(w)
@@ -517,9 +623,11 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, st requestState)
 	}
 }
 
-// handleMetrics serves the Prometheus text exposition.
+// handleMetrics serves the Prometheus text exposition. Cache-Control
+// no-store keeps intermediaries from serving stale scrapes.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Cache-Control", "no-store")
 	if err := s.met.WritePrometheus(w); err != nil {
 		s.log.LogAttrs(context.Background(), slog.LevelWarn, "metrics",
 			slog.String("error", err.Error()))
@@ -529,6 +637,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // handleMetricsJSON serves the JSON snapshot.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
 	if err := s.met.WriteJSON(w); err != nil {
 		s.log.LogAttrs(context.Background(), slog.LevelWarn, "metrics_json",
 			slog.String("error", err.Error()))

@@ -255,6 +255,75 @@ func (c *LabeledCounter) reset() {
 	c.mu.Unlock()
 }
 
+// LabeledHistogram is a histogram family keyed by one label value
+// (request phase, workload stratum); every member shares one bucket
+// layout so family members merge and compare exactly. The zero value
+// is usable and lazily adopts the default layout on first use;
+// NewLabeledHistogram picks an explicit layout.
+type LabeledHistogram struct {
+	mu   sync.Mutex
+	opts HistogramOpts
+	set  bool
+	vals map[string]*Histogram
+}
+
+// NewLabeledHistogram returns a family with the given shared layout.
+func NewLabeledHistogram(opts HistogramOpts) *LabeledHistogram {
+	return &LabeledHistogram{opts: opts.defaults(), set: true}
+}
+
+// Observe records one value into the label's member histogram,
+// creating it on first use.
+func (l *LabeledHistogram) Observe(label string, v float64) {
+	l.mu.Lock()
+	if !l.set {
+		//lint:optzero zero-value families lazily adopt the documented default layout
+		l.opts, l.set = HistogramOpts{}.defaults(), true
+	}
+	if l.vals == nil {
+		l.vals = make(map[string]*Histogram)
+	}
+	h := l.vals[label]
+	if h == nil {
+		h = NewHistogram(l.opts)
+		l.vals[label] = h
+	}
+	l.mu.Unlock()
+	h.Observe(v)
+}
+
+// LabeledHist is one member of a LabeledHistogram snapshot.
+type LabeledHist struct {
+	Label string            `json:"label"`
+	Hist  HistogramSnapshot `json:"hist"`
+}
+
+// Snapshot returns the members sorted by label, so encoders emit a
+// deterministic order.
+func (l *LabeledHistogram) Snapshot() []LabeledHist {
+	l.mu.Lock()
+	labels := make([]string, 0, len(l.vals))
+	hists := make(map[string]*Histogram, len(l.vals))
+	for k, h := range l.vals {
+		labels = append(labels, k)
+		hists[k] = h
+	}
+	l.mu.Unlock()
+	sort.Strings(labels)
+	out := make([]LabeledHist, len(labels))
+	for i, k := range labels {
+		out[i] = LabeledHist{Label: k, Hist: hists[k].Snapshot()}
+	}
+	return out
+}
+
+// reset drops all members (the layout stays).
+func (l *LabeledHistogram) reset() {
+	l.mu.Lock()
+	l.vals = nil
+	l.mu.Unlock()
+}
+
 // splitLabels undoes the Add key join.
 func splitLabels(key string) []string {
 	var out []string

@@ -49,6 +49,11 @@ type Metrics struct {
 	requests Gauge // in-flight
 	queue    Gauge // admitted but waiting for a solve slot
 	byStatus LabeledCounter
+
+	// phaseWall attributes request wall time to pipeline phases
+	// (queue_wait, parse, encode, model_build, solve, extract), fed by
+	// RecordPhase from the daemon's per-request span tree.
+	phaseWall LabeledHistogram
 }
 
 // Default is the process-wide registry.
@@ -65,6 +70,9 @@ var (
 	solveItersBuckets = HistogramOpts{Start: 8, Factor: 2, Count: 20}
 	// placedRulesBuckets: 1 .. ~32k installed TCAM slots.
 	placedRulesBuckets = HistogramOpts{Start: 1, Factor: 2, Count: 16}
+	// phaseWallBuckets: 50µs .. ~26s, fine enough to separate
+	// sub-millisecond parse/encode phases from multi-second solves.
+	phaseWallBuckets = HistogramOpts{Start: 0.00005, Factor: 2, Count: 20}
 )
 
 // initHists sets the non-default layouts once, before first use. It is
@@ -90,6 +98,20 @@ func (m *Metrics) initHists() {
 		m.placedRules.init(placedRulesBuckets)
 	}
 	m.placedRules.mu.Unlock()
+	m.phaseWall.mu.Lock()
+	if !m.phaseWall.set {
+		m.phaseWall.opts, m.phaseWall.set = phaseWallBuckets, true
+	}
+	m.phaseWall.mu.Unlock()
+}
+
+// RecordPhase attributes d of request wall time to one pipeline phase
+// (queue_wait, parse, encode, model_build, solve, extract). The
+// daemon records one observation per phase per request, read from the
+// request's span tree after the solve.
+func (m *Metrics) RecordPhase(phase string, d time.Duration) {
+	m.initHists()
+	m.phaseWall.Observe(phase, d.Seconds())
 }
 
 // SolveSample is the per-solve bulk update recorded into a Metrics.
@@ -202,6 +224,7 @@ func (m *Metrics) Reset() {
 	m.requests.Set(0)
 	m.queue.Set(0)
 	m.byStatus.reset()
+	m.phaseWall.reset()
 }
 
 // RequestCount is one (status, stop_reason) series of the request
@@ -240,6 +263,9 @@ type MetricsSnapshot struct {
 	SolveNodesHist   HistogramSnapshot `json:"solve_nodes_hist"`
 	SolveItersHist   HistogramSnapshot `json:"solve_simplex_iters_hist"`
 	InstalledRules   HistogramSnapshot `json:"installed_rules_hist"`
+	// PhaseWall attributes request wall time per pipeline phase
+	// (absent until the daemon records a request).
+	PhaseWall []LabeledHist `json:"request_phase_seconds_hist,omitempty"`
 }
 
 // Snapshot copies the current instrument values.
@@ -270,6 +296,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SolveNodesHist:   m.solveNodesHist.Snapshot(),
 		SolveItersHist:   m.solveItersHist.Snapshot(),
 		InstalledRules:   m.placedRules.Snapshot(),
+		PhaseWall:        m.phaseWall.Snapshot(),
 	}
 	for _, lc := range m.byStatus.Snapshot() {
 		rc := RequestCount{Count: lc.Value}
@@ -339,6 +366,37 @@ func histFamilies(name, help string, h HistogramSnapshot) []family {
 	}
 }
 
+// labeledHistFamilies renders a histogram family whose members carry
+// one extra label: per member, cumulative _bucket{label,le} series plus
+// labeled _sum and _count. Members arrive sorted (LabeledHistogram
+// snapshots sort), so the exposition order is deterministic.
+func labeledHistFamilies(name, help, labelName string, members []LabeledHist) []family {
+	fams := []family{{name: name, help: help, typ: "histogram"}}
+	bucket := family{name: name + "_bucket"}
+	sum := family{name: name + "_sum"}
+	count := family{name: name + "_count"}
+	for _, m := range members {
+		lv := escapeLabel(m.Label)
+		for _, b := range m.Hist.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.LE, 1) {
+				le = promFloat(b.LE)
+			}
+			bucket.series = append(bucket.series, series{
+				labels: fmt.Sprintf(`{%s="%s",le="%s"}`, labelName, lv, le),
+				val:    float64(b.Count),
+			})
+		}
+		sum.series = append(sum.series, series{
+			labels: fmt.Sprintf(`{%s="%s"}`, labelName, lv), val: m.Hist.Sum,
+		})
+		count.series = append(count.series, series{
+			labels: fmt.Sprintf(`{%s="%s"}`, labelName, lv), val: float64(m.Hist.Count),
+		})
+	}
+	return append(fams, bucket, sum, count)
+}
+
 // WritePrometheus writes the snapshot in the Prometheus text exposition
 // format (version 0.0.4), suitable for a /metrics endpoint or a
 // one-shot dump at process exit. Histograms are emitted as cumulative
@@ -400,6 +458,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	families = append(families, histFamilies("rulefit_solve_nodes", "Distribution of branch & bound nodes per solve.", s.SolveNodesHist)...)
 	families = append(families, histFamilies("rulefit_solve_simplex_iters", "Distribution of simplex iterations per solve.", s.SolveItersHist)...)
 	families = append(families, histFamilies("rulefit_installed_rules", "Distribution of installed TCAM slots per placement.", s.InstalledRules)...)
+	if len(s.PhaseWall) > 0 {
+		families = append(families, labeledHistFamilies("rulefit_request_phase_seconds",
+			"Request wall time attributed to pipeline phases.", "phase", s.PhaseWall)...)
+	}
 
 	for _, f := range families {
 		if f.typ != "" {

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"io"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -129,10 +130,14 @@ func CheckPrometheusText(r io.Reader) error {
 			}
 			continue
 		}
-		h := hists[family]
+		// Histogram state is tracked per (family, non-le label set): a
+		// family like request_phase_seconds carries one cumulative
+		// bucket sequence per phase label, each ending at its own +Inf.
+		key := family + histLabelSignature(labels)
+		h := hists[key]
 		if h == nil {
 			h = &histState{}
-			hists[family] = h
+			hists[key] = h
 		}
 		switch suffix {
 		case "_bucket":
@@ -148,7 +153,7 @@ func CheckPrometheusText(r io.Reader) error {
 				return fmt.Errorf("line %d: bad le value %q", lineNo, le)
 			}
 			if value < h.prev {
-				return fmt.Errorf("line %d: histogram %s buckets not cumulative (%g after %g)", lineNo, family, value, h.prev)
+				return fmt.Errorf("line %d: histogram %s buckets not cumulative (%g after %g)", lineNo, key, value, h.prev)
 			}
 			h.prev = value
 		case "_count":
@@ -174,6 +179,28 @@ func CheckPrometheusText(r io.Reader) error {
 		}
 	}
 	return nil
+}
+
+// histLabelSignature renders a sample's labels minus "le" as a stable
+// suffix ("" when unlabeled), so histogram state can be tracked per
+// family member.
+func histLabelSignature(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == "le" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString("{" + k + "=" + labels[k] + "}")
+	}
+	return sb.String()
 }
 
 // histFamilyOf resolves a sample name to its TYPE'd histogram family

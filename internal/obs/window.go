@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// WindowOpts configures a rolling time-windowed histogram: a ring of
+// Intervals interval histograms, each with the Buckets layout, merged
+// on demand into one sliding-window snapshot. Rotation is driven by
+// the caller (one Rotate per measurement interval), so the window
+// itself never reads a clock and window contents are a pure function
+// of the Observe/Rotate call sequence. The zero value is usable and
+// lazily adopts the package default layout with 5 intervals;
+// production call sites should state both explicitly (the optzero
+// analyzer flags empty literals).
+type WindowOpts struct {
+	// Buckets is the per-interval histogram layout.
+	Buckets HistogramOpts
+	// Intervals is the ring size: how many rotations an observation
+	// stays visible in the sliding window (default 5).
+	Intervals int
+}
+
+// defaults fills unset fields.
+func (o WindowOpts) defaults() WindowOpts {
+	if o.Intervals <= 0 {
+		o.Intervals = 5
+	}
+	//lint:sharedmut operates on a value-receiver copy; cannot race
+	o.Buckets = o.Buckets.defaults()
+	return o
+}
+
+// Window is a sliding-window distribution instrument: observations land
+// in the current interval histogram (and a cumulative total), Rotate
+// advances the ring dropping the oldest interval, and Snapshot merges
+// the live intervals into one windowed distribution for percentile
+// readouts (p50/p90/p99/p999 over the last N intervals). The zero
+// value is usable and lazily adopts the default WindowOpts layout.
+type Window struct {
+	mu    sync.Mutex
+	opts  WindowOpts
+	ring  []*Histogram
+	cur   int
+	total Histogram
+}
+
+// NewWindow returns a window with the given ring and bucket layout.
+func NewWindow(opts WindowOpts) *Window {
+	w := &Window{}
+	w.init(opts)
+	return w
+}
+
+// init sets the layout. Caller holds mu (or has exclusive access).
+func (w *Window) init(opts WindowOpts) {
+	//lint:sharedmut caller holds mu or has exclusive access (see doc)
+	w.opts = opts.defaults()
+	//lint:sharedmut caller holds mu or has exclusive access (see doc)
+	w.ring = make([]*Histogram, w.opts.Intervals)
+	for i := range w.ring {
+		w.ring[i] = NewHistogram(w.opts.Buckets)
+	}
+	w.total.mu.Lock()
+	w.total.init(w.opts.Buckets)
+	w.total.mu.Unlock()
+}
+
+// Observe records one value into the current interval and the
+// cumulative total.
+func (w *Window) Observe(v float64) {
+	w.mu.Lock()
+	if w.ring == nil {
+		//lint:optzero zero-value windows lazily adopt the documented default layout
+		w.init(WindowOpts{})
+	}
+	cur := w.ring[w.cur]
+	w.mu.Unlock()
+	cur.Observe(v)
+	w.total.Observe(v)
+}
+
+// Rotate advances the window by one interval: the oldest interval's
+// observations leave the sliding window. Call once per measurement
+// interval from the harness's ticker.
+func (w *Window) Rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ring == nil {
+		//lint:optzero zero-value windows lazily adopt the documented default layout
+		w.init(WindowOpts{})
+	}
+	w.cur = (w.cur + 1) % len(w.ring)
+	w.ring[w.cur].reset()
+}
+
+// Snapshot merges the live intervals into one sliding-window
+// distribution. The merge is exact: identical layouts sum bucket by
+// bucket, so the merged snapshot equals a histogram of the union of
+// the windowed observations.
+func (w *Window) Snapshot() HistogramSnapshot {
+	w.mu.Lock()
+	if w.ring == nil {
+		//lint:optzero zero-value windows lazily adopt the documented default layout
+		w.init(WindowOpts{})
+	}
+	ring := append([]*Histogram(nil), w.ring...)
+	w.mu.Unlock()
+	out := ring[0].Snapshot()
+	for _, h := range ring[1:] {
+		merged, err := MergeHistogramSnapshots(out, h.Snapshot())
+		if err != nil {
+			// Unreachable: every ring entry shares one layout.
+			continue
+		}
+		out = merged
+	}
+	return out
+}
+
+// Total returns the cumulative distribution since the window was
+// created (rotation never drops it).
+func (w *Window) Total() HistogramSnapshot {
+	w.mu.Lock()
+	if w.ring == nil {
+		//lint:optzero zero-value windows lazily adopt the documented default layout
+		w.init(WindowOpts{})
+	}
+	w.mu.Unlock()
+	return w.total.Snapshot()
+}
+
+// MergeHistogramSnapshots merges two snapshots taken from histograms
+// with identical bucket layouts: cumulative counts and sums add. It
+// errors when the layouts differ (merging those would silently
+// misattribute observations).
+func MergeHistogramSnapshots(a, b HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(a.Buckets) != len(b.Buckets) {
+		return HistogramSnapshot{}, errLayoutMismatch
+	}
+	out := HistogramSnapshot{
+		Buckets: make([]BucketCount, len(a.Buckets)),
+		Sum:     a.Sum + b.Sum,
+		Count:   a.Count + b.Count,
+	}
+	for i := range a.Buckets {
+		if !sameBound(a.Buckets[i].LE, b.Buckets[i].LE) {
+			return HistogramSnapshot{}, errLayoutMismatch
+		}
+		out.Buckets[i] = BucketCount{
+			LE:    a.Buckets[i].LE,
+			Count: a.Buckets[i].Count + b.Buckets[i].Count,
+		}
+	}
+	return out, nil
+}
+
+// sameBound compares bucket upper bounds, treating +Inf as equal to
+// +Inf (IEEE comparison already does; this spells the intent).
+func sameBound(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	//lint:exactfloat bucket bounds are copied, never computed, so exact compare is safe
+	return a == b
+}
+
+// errLayoutMismatch reports a merge across incompatible bucket layouts.
+var errLayoutMismatch = layoutMismatchError{}
+
+type layoutMismatchError struct{}
+
+func (layoutMismatchError) Error() string {
+	return "obs: cannot merge histogram snapshots with different bucket layouts"
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the cumulative
+// snapshot by linear interpolation inside the first bucket whose
+// cumulative count reaches q*Count. Values in the +Inf bucket clamp to
+// the largest finite bound. Returns 0 for an empty snapshot. The
+// estimate is deterministic: a pure function of the snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	lower := 0.0
+	var below uint64
+	for _, b := range s.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.LE, 1) {
+				// Observations beyond the finite layout: report the
+				// largest finite bound rather than inventing a value.
+				return lower
+			}
+			in := float64(b.Count - below)
+			if in <= 0 {
+				return b.LE
+			}
+			frac := (rank - float64(below)) / in
+			return lower + frac*(b.LE-lower)
+		}
+		if !math.IsInf(b.LE, 1) {
+			lower = b.LE
+		}
+		below = b.Count
+	}
+	return lower
+}

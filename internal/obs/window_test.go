@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWindowMergeProperty is the windowed-histogram merge property
+// test: for any Observe/Rotate sequence, the merged window snapshot
+// equals a plain histogram fed the union of the observations still
+// inside the window.
+func TestWindowMergeProperty(t *testing.T) {
+	layout := HistogramOpts{Start: 0.001, Factor: 2, Count: 12}
+	const intervals = 4
+	w := NewWindow(WindowOpts{Buckets: layout, Intervals: intervals})
+
+	rng := rand.New(rand.NewSource(42))
+	// live[i] holds the observations of the i-th most recent interval.
+	live := make([][]float64, 1, intervals)
+	for step := 0; step < 200; step++ {
+		v := math.Exp(rng.Float64()*12 - 8) // spans below Start to above the top bound
+		w.Observe(v)
+		live[len(live)-1] = append(live[len(live)-1], v)
+		if step%17 == 16 {
+			w.Rotate()
+			live = append(live, nil)
+			if len(live) > intervals {
+				live = live[1:]
+			}
+		}
+
+		ref := NewHistogram(layout)
+		for _, interval := range live {
+			for _, ov := range interval {
+				ref.Observe(ov)
+			}
+		}
+		got, want := w.Snapshot(), ref.Snapshot()
+		if !reflect.DeepEqual(got.Buckets, want.Buckets) || got.Count != want.Count {
+			t.Fatalf("step %d: window snapshot diverged from union histogram\ngot  %+v\nwant %+v", step, got, want)
+		}
+		if math.Abs(got.Sum-want.Sum) > 1e-9*(1+math.Abs(want.Sum)) {
+			t.Fatalf("step %d: sum %v, want %v", step, got.Sum, want.Sum)
+		}
+	}
+}
+
+// TestWindowRotateExpires checks observations leave the sliding window
+// after Intervals rotations but stay in the cumulative total.
+func TestWindowRotateExpires(t *testing.T) {
+	w := NewWindow(WindowOpts{Buckets: HistogramOpts{Start: 1, Factor: 2, Count: 4}, Intervals: 3})
+	w.Observe(1)
+	w.Observe(2)
+	for i := 0; i < 3; i++ {
+		if got := w.Snapshot().Count; got != 2 {
+			t.Fatalf("after %d rotations window count = %d, want 2", i, got)
+		}
+		w.Rotate()
+	}
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("window count after expiry = %d, want 0", got)
+	}
+	if got := w.Total().Count; got != 2 {
+		t.Fatalf("total count = %d, want 2", got)
+	}
+}
+
+// TestWindowZeroValue checks the zero value lazily adopts the default
+// layout and interval count.
+func TestWindowZeroValue(t *testing.T) {
+	var w Window
+	w.Observe(0.002)
+	s := w.Snapshot()
+	if len(s.Buckets) != 17 { // default layout: 16 finite + Inf
+		t.Fatalf("bucket count = %d, want 17", len(s.Buckets))
+	}
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	w.Rotate()
+	if got := w.Snapshot().Count; got != 1 {
+		t.Fatalf("count after one rotation = %d, want 1 (default 5 intervals)", got)
+	}
+}
+
+// TestMergeHistogramSnapshotsLayoutMismatch checks merging across
+// layouts is rejected rather than silently misattributed.
+func TestMergeHistogramSnapshotsLayoutMismatch(t *testing.T) {
+	a := NewHistogram(HistogramOpts{Start: 1, Factor: 2, Count: 3}).Snapshot()
+	b := NewHistogram(HistogramOpts{Start: 1, Factor: 2, Count: 4}).Snapshot()
+	if _, err := MergeHistogramSnapshots(a, b); err == nil {
+		t.Fatal("merge across bucket counts succeeded, want error")
+	}
+	c := NewHistogram(HistogramOpts{Start: 2, Factor: 2, Count: 3}).Snapshot()
+	if _, err := MergeHistogramSnapshots(a, c); err == nil {
+		t.Fatal("merge across bucket bounds succeeded, want error")
+	}
+	if _, err := MergeHistogramSnapshots(a, a); err != nil {
+		t.Fatalf("self-merge errored: %v", err)
+	}
+}
+
+// TestHistogramSnapshotQuantile exercises the interpolated quantile
+// estimator: empty snapshots, interior interpolation, and the +Inf
+// clamp.
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+
+	h := NewHistogram(HistogramOpts{Start: 1, Factor: 2, Count: 3}) // bounds 1, 2, 4
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5) // all ten land in the (1, 2] bucket
+	}
+	s := h.Snapshot()
+	// Median rank 5 of 10 falls halfway into the (1, 2] bucket.
+	if got := s.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1.5", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("p100 = %v, want 2", got)
+	}
+
+	over := NewHistogram(HistogramOpts{Start: 1, Factor: 2, Count: 3})
+	over.Observe(100) // +Inf bucket
+	if got := over.Snapshot().Quantile(0.99); got != 4 {
+		t.Fatalf("overflow quantile = %v, want largest finite bound 4", got)
+	}
+}
+
+// TestConcurrentInstrumentWriters is the -race stress test: concurrent
+// writers on Histogram, LabeledCounter, LabeledHistogram, and Window,
+// with snapshot totals asserted equal to the sum of recorded
+// observations.
+func TestConcurrentInstrumentWriters(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 500
+	)
+	var (
+		h  Histogram
+		lc LabeledCounter
+		lh LabeledHistogram
+		w  Window
+		wg sync.WaitGroup
+	)
+	labels := []string{"solve", "encode", "queue_wait"}
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perW; j++ {
+				v := float64(j%13) * 0.001
+				h.Observe(v)
+				lc.Add(1, labels[j%len(labels)])
+				lh.Observe(labels[j%len(labels)], v)
+				w.Observe(v)
+				if id == 0 && j%100 == 99 {
+					w.Rotate() // rotation racing observers must stay consistent
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	const total = writers * perW
+	if got := h.Snapshot().Count; got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	var lcSum int64
+	for _, s := range lc.Snapshot() {
+		lcSum += s.Value
+	}
+	if lcSum != total {
+		t.Fatalf("labeled counter sum = %d, want %d", lcSum, total)
+	}
+	var lhSum uint64
+	for _, m := range lh.Snapshot() {
+		lhSum += m.Hist.Count
+	}
+	if lhSum != total {
+		t.Fatalf("labeled histogram count = %d, want %d", lhSum, total)
+	}
+	if got := w.Total().Count; got != total {
+		t.Fatalf("window total count = %d, want %d", got, total)
+	}
+}
+
+// TestLabeledHistogramSnapshotSortedSharedLayout checks family members
+// share one layout and snapshot in sorted label order.
+func TestLabeledHistogramSnapshotSortedSharedLayout(t *testing.T) {
+	lh := NewLabeledHistogram(HistogramOpts{Start: 0.01, Factor: 10, Count: 3})
+	lh.Observe("zeta", 0.5)
+	lh.Observe("alpha", 0.02)
+	lh.Observe("zeta", 5000) // +Inf bucket
+	members := lh.Snapshot()
+	if len(members) != 2 || members[0].Label != "alpha" || members[1].Label != "zeta" {
+		t.Fatalf("members = %+v, want sorted [alpha zeta]", members)
+	}
+	for _, m := range members {
+		if len(m.Hist.Buckets) != 4 {
+			t.Fatalf("member %s has %d buckets, want shared layout of 4", m.Label, len(m.Hist.Buckets))
+		}
+	}
+	if members[1].Hist.Count != 2 {
+		t.Fatalf("zeta count = %d, want 2", members[1].Hist.Count)
+	}
+}
+
+// TestPhaseWallExposition checks RecordPhase surfaces as a labeled
+// histogram family in both encoders and passes the shared Prometheus
+// conformance check (per-phase cumulative bucket sequences).
+func TestPhaseWallExposition(t *testing.T) {
+	var m Metrics
+	m.RecordPhase("solve", 80*time.Millisecond)
+	m.RecordPhase("solve", 5*time.Millisecond)
+	m.RecordPhase("queue_wait", 100*time.Microsecond)
+
+	s := m.Snapshot()
+	if len(s.PhaseWall) != 2 {
+		t.Fatalf("phase members = %d, want 2", len(s.PhaseWall))
+	}
+	if s.PhaseWall[0].Label != "queue_wait" || s.PhaseWall[1].Label != "solve" {
+		t.Fatalf("phase labels = %+v, want sorted [queue_wait solve]", s.PhaseWall)
+	}
+	if s.PhaseWall[1].Hist.Count != 2 {
+		t.Fatalf("solve phase count = %d, want 2", s.PhaseWall[1].Hist.Count)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE rulefit_request_phase_seconds histogram",
+		`rulefit_request_phase_seconds_bucket{phase="solve",le="+Inf"} 2`,
+		`rulefit_request_phase_seconds_count{phase="queue_wait"} 1`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := CheckPrometheusText(&buf); err != nil {
+		t.Fatalf("conformance: %v\n%s", err, text)
+	}
+
+	m.Reset()
+	if got := m.Snapshot().PhaseWall; len(got) != 0 {
+		t.Fatalf("phase members after reset = %+v, want none", got)
+	}
+}

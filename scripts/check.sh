@@ -8,8 +8,10 @@
 # (rulefitlint — including the cross-package dataflow analyzers
 # detsource/sharedmut/sinkguard — both standalone and as a vettool,
 # where facts travel through .vetx files), build, tests, the race
-# detector, the rulefitdebug invariant-checked test pass, and a fuzz
-# smoke (each target briefly, mirroring CI's fuzz-smoke job).
+# detector, the rulefitdebug invariant-checked test pass, a load-harness
+# smoke (live daemon + fixed-RPS ruleload replay + loaddiff schema and
+# self-diff gates, mirroring CI's load-smoke job), and a fuzz smoke
+# (each target briefly, mirroring CI's fuzz-smoke job).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +59,26 @@ go test -race ./internal/daemon/ || fail=1
 
 step "benchdiff gate (baseline vs itself must be clean)"
 go run ./cmd/benchdiff BENCH_20260805T141853Z.json BENCH_20260805T141853Z.json || fail=1
+
+step "load harness: e2e (race)"
+go test -race ./internal/load/ || fail=1
+
+step "load smoke (fixed-RPS replay, schema gate, self-diff)"
+go build -race -o /tmp/ruleload ./cmd/ruleload || fail=1
+go build -o /tmp/loaddiff ./cmd/loaddiff || fail=1
+go build -o /tmp/ruleplaced ./cmd/ruleplaced || fail=1
+/tmp/ruleplaced -addr 127.0.0.1:18090 -max-inflight 2 >/tmp/ruleplaced-smoke.log 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18090/readyz >/dev/null && break
+    sleep 0.1
+done
+/tmp/ruleload -target http://127.0.0.1:18090 -seed 7 -requests 8 -rps 50 -quiet -out /tmp/load.json || fail=1
+/tmp/loaddiff -check /tmp/load.json || fail=1
+/tmp/loaddiff /tmp/load.json /tmp/load.json >/dev/null || fail=1
+curl -sf http://127.0.0.1:18090/statusz | grep -q '"requests_1m"' || fail=1
+kill -TERM "$daemon_pid" 2>/dev/null
+wait "$daemon_pid" 2>/dev/null || true
 
 if [ "$mode" != "quick" ]; then
     step "go test -race"
