@@ -11,7 +11,8 @@
 //	loaddiff -check FILE
 //
 // -check validates a single report against the rulefit-load/v1 schema
-// and exits 0/2 without comparing.
+// and exits 0/2 without comparing; on delta-replay reports it also
+// exits 1 if any step broke warm/cold byte identity.
 //
 // Exit status: 0 when no regressions, 1 when any aligned request
 // regressed, any placement drifted, or the sweep knee moved down
@@ -51,6 +52,13 @@ func run() int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loaddiff: %v\n", err)
 			return 2
+		}
+		// Delta reports carry their own internal pass/fail: every warm
+		// answer must hash identically to its cold re-solve.
+		if rep.Delta != nil && rep.Delta.Mismatched > 0 {
+			fmt.Fprintf(os.Stderr, "loaddiff: %s: delta report records %d warm/cold identity mismatches\n",
+				*check, rep.Delta.Mismatched)
+			return 1
 		}
 		fmt.Printf("%s: schema %s ok (%d requests, fingerprint %s)\n",
 			*check, rep.Schema, rep.Total, rep.Workload.Fingerprint)

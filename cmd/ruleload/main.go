@@ -11,6 +11,8 @@
 //	         [-merging] [-timelimit SEC] [-out FILE] [-quiet]
 //	         [-sweep] [-shed-threshold R] [-step-requests N]
 //	         [-max-concurrency N]
+//	         [-delta] [-delta-steps N] [-delta-ingresses N]
+//	         [-delta-rules N] [-delta-k K] [-delta-min-speedup R]
 //
 // Modes:
 //
@@ -23,6 +25,13 @@
 //	    the knee — the largest concurrency whose shed rate stays below
 //	    -shed-threshold. The report records the measured steps and the
 //	    served capacity at the knee.
+//	delta: -delta replays single-rule deltas through a placement
+//	    session, pairing every warm answer with a cold solve of the
+//	    identical instance. The report's delta record carries the
+//	    warm/cold p50/p99 split and the per-step byte-identity
+//	    verdicts; any hash mismatch fails the run, and
+//	    -delta-min-speedup R additionally fails it when the cold/warm
+//	    p99 ratio lands below R (the session SLO gate).
 //
 // The workload is a pure function of -seed: identical invocations
 // replay byte-identical request bodies (the report's workload
@@ -69,6 +78,13 @@ func run() error {
 		stepRequests  = flag.Int("step-requests", 8, "sweep: requests measured per concurrency level")
 		maxConc       = flag.Int("max-concurrency", 64, "sweep: doubling-phase cap")
 
+		delta         = flag.Bool("delta", false, "replay single-rule deltas through a session, warm vs cold")
+		deltaSteps    = flag.Int("delta-steps", 20, "delta: single-rule deltas to replay")
+		deltaIngress  = flag.Int("delta-ingresses", 8, "delta: policies in the instance class")
+		deltaRules    = flag.Int("delta-rules", 100, "delta: rules per policy in the instance class")
+		deltaK        = flag.Int("delta-k", 4, "delta: fat-tree K of the instance class")
+		deltaMinSpeed = flag.Float64("delta-min-speedup", 0, "delta: fail unless cold/warm p99 ratio reaches R (0 = no gate)")
+
 		out   = flag.String("out", "", "report file (default stdout)")
 		quiet = flag.Bool("quiet", false, "suppress live status lines")
 	)
@@ -104,16 +120,34 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *delta && *sweep {
+		return fmt.Errorf("-delta and -sweep are mutually exclusive")
+	}
+
 	start := time.Now()
 	var rep *load.Report
 	var err error
-	if *sweep {
+	switch {
+	case *delta:
+		var driver load.SessionDriver
+		if *inprocess {
+			driver = load.NewInProcessSessionDriver(0, 0)
+		} else {
+			driver = load.NewHTTPSessionDriver(*target, nil)
+		}
+		rep, err = load.RunDelta(ctx, cfg, load.DeltaOpts{
+			Steps:          *deltaSteps,
+			Ingresses:      *deltaIngress,
+			RulesPerPolicy: *deltaRules,
+			FatTreeK:       *deltaK,
+		}, driver, placer)
+	case *sweep:
 		rep, err = load.RunSweep(ctx, cfg, load.SweepOpts{
 			ShedThreshold:  *shedThreshold,
 			StepRequests:   *stepRequests,
 			MaxConcurrency: *maxConc,
 		}, placer)
-	} else {
+	default:
 		rep, err = load.Run(ctx, cfg, placer)
 	}
 	if err != nil {
@@ -132,7 +166,21 @@ func run() error {
 		defer f.Close()
 		w = f
 	}
-	return rep.WriteJSON(w)
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	// The delta gates run after the report is written, so a failing run
+	// still leaves the evidence on disk.
+	if rep.Delta != nil {
+		if rep.Delta.Mismatched > 0 {
+			return fmt.Errorf("delta replay: %d step(s) broke warm/cold byte identity", rep.Delta.Mismatched)
+		}
+		if *deltaMinSpeed > 0 && rep.Delta.SpeedupP99 < *deltaMinSpeed {
+			return fmt.Errorf("delta replay: p99 speedup %.2fx below the %.2fx SLO gate",
+				rep.Delta.SpeedupP99, *deltaMinSpeed)
+		}
+	}
+	return nil
 }
 
 // summarize prints the one-paragraph human trailer after a run.
@@ -147,6 +195,13 @@ func summarize(w io.Writer, rep *load.Report, elapsed time.Duration) {
 		}
 		fmt.Fprintf(w, "shed point: knee at %d concurrent, %.1f rps served, %s\n",
 			rep.Sweep.KneeConcurrency, rep.Sweep.CapacityRPS, state)
+	}
+	if rep.Delta != nil {
+		fmt.Fprintf(w, "delta (%s, %d steps): warm p50=%.1fms p99=%.1fms, cold p50=%.1fms p99=%.1fms, p99 speedup %.1fx, %d mismatched\n",
+			rep.Delta.Class, rep.Delta.Steps,
+			rep.Delta.WarmP50MS, rep.Delta.WarmP99MS,
+			rep.Delta.ColdP50MS, rep.Delta.ColdP99MS,
+			rep.Delta.SpeedupP99, rep.Delta.Mismatched)
 	}
 	fmt.Fprintf(w, "workload fingerprint: %s\n", rep.Workload.Fingerprint)
 }

@@ -6,19 +6,23 @@
 // Usage:
 //
 //	ruleplaced [-addr :8080] [-debug-addr 127.0.0.1:6060]
-//	           [-max-inflight N] [-max-queue N]
+//	           [-max-inflight N] [-max-queue N] [-max-sessions N]
 //	           [-default-timeout 60s] [-max-timeout 10m]
 //	           [-trace-dir DIR] [-drain-timeout 30s] [-no-slo]
 //	           [-solve-delay D]
 //
 // Endpoints (on -addr):
 //
-//	POST /v1/place     solve a placement: {"problem": <spec JSON>, "options": {...}}
-//	GET  /metrics      Prometheus text exposition (counters, gauges, histograms)
-//	GET  /metrics/json JSON metrics snapshot
-//	GET  /statusz      saturation snapshot: in-flight, queue depth, 1m/5m request and shed rates
-//	GET  /healthz      liveness (200 while the process runs)
-//	GET  /readyz       readiness (503 during drain)
+//	POST   /v1/place              solve a placement: {"problem": <spec JSON>, "options": {...}}
+//	POST   /v1/session            create a stateful session (same body as /v1/place)
+//	GET    /v1/session/{id}       current session version + placement
+//	POST   /v1/session/{id}/delta apply deltas: {"deltas": [{"op": "add_rule", ...}, ...]}
+//	DELETE /v1/session/{id}       drop the session
+//	GET    /metrics               Prometheus text exposition (counters, gauges, histograms)
+//	GET    /metrics/json          JSON metrics snapshot
+//	GET    /statusz               saturation snapshot: in-flight, queue depth, 1m/5m request and shed rates
+//	GET    /healthz               liveness (200 while the process runs)
+//	GET    /readyz                readiness (503 during drain)
 //
 // Every /v1/place response carries X-Rulefit-Trace-Id (joinable with
 // the daemon's log lines and trace files) and, unless -no-slo is set,
@@ -60,6 +64,7 @@ func run() error {
 		debugAddr    = flag.String("debug-addr", "", "pprof/debug listen address (empty disables; bind loopback in production)")
 		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently solving requests (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("max-queue", 0, "max requests waiting for a solve slot before 429 shedding")
+		maxSessions  = flag.Int("max-sessions", 0, "max live stateful sessions before LRU eviction (0 = 64)")
 		defTimeout   = flag.Duration("default-timeout", 60*time.Second, "solver time limit for requests that set none")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on per-request solver time limits")
 		traceDir     = flag.String("trace-dir", "", "write per-request solver event traces (JSONL) into this directory")
@@ -73,6 +78,7 @@ func run() error {
 	s := daemon.New(daemon.Config{
 		MaxInFlight:      *maxInFlight,
 		MaxQueue:         *maxQueue,
+		MaxSessions:      *maxSessions,
 		DefaultTimeLimit: *defTimeout,
 		MaxTimeLimit:     *maxTimeout,
 		TraceDir:         *traceDir,

@@ -96,10 +96,20 @@ func buildEncoding(prob *Problem, opts Options, span *obs.Span) (*encoding, erro
 		byRule: make(map[[2]int][]int),
 	}
 
-	// Stage 1 (optional): redundancy removal, per Fig. 4.
+	// Stage 1 (optional): redundancy removal, per Fig. 4. With an
+	// EncodeCache attached, policies whose content was analyzed before
+	// serve both stage-1 and stage-2 artifacts from cache.
+	cache := opts.EncodeCache
 	redSp := span.Child("redundancy")
 	e.policies = make([]*policy.Policy, len(prob.Policies))
+	e.graphs = make([]*deps.Graph, len(prob.Policies))
 	for i, pol := range prob.Policies {
+		if cache != nil {
+			if reduced, g, ok := cache.lookupPolicy(pol, opts.RemoveRedundant); ok {
+				e.policies[i], e.graphs[i] = reduced, g
+				continue
+			}
+		}
 		if opts.RemoveRedundant {
 			reduced, _ := policy.RemoveRedundant(pol)
 			e.policies[i] = reduced
@@ -109,11 +119,16 @@ func buildEncoding(prob *Problem, opts Options, span *obs.Span) (*encoding, erro
 	}
 	redSp.End()
 
-	// Stage 2: dependency graphs.
+	// Stage 2: dependency graphs (for cache hits, already filled).
 	depSp := span.Child("dep_graph")
-	e.graphs = make([]*deps.Graph, len(e.policies))
 	for i, pol := range e.policies {
+		if e.graphs[i] != nil {
+			continue
+		}
 		e.graphs[i] = deps.BuildGraph(pol)
+		if cache != nil {
+			cache.storePolicy(prob.Policies[i], opts.RemoveRedundant, pol, e.graphs[i])
+		}
 	}
 	depSp.End()
 
@@ -346,7 +361,20 @@ func (e *encoding) buildMerging() error {
 		}
 		placedMask[v.pol][v.rule] = true
 	}
-	raw := deps.FindMergeable(e.policies, 2)
+	// The group search is a pure function of the (reduced) policy list;
+	// with a cache attached it is served by content key. The cached
+	// slice is shared read-only: the filter below builds fresh groups.
+	var raw []deps.MergeGroup
+	if c := e.opts.EncodeCache; c != nil {
+		if cached, ok := c.lookupMerge(e.policies); ok {
+			raw = cached
+		} else {
+			raw = deps.FindMergeable(e.policies, 2)
+			c.storeMerge(e.policies, raw)
+		}
+	} else {
+		raw = deps.FindMergeable(e.policies, 2)
+	}
 	var filtered []deps.MergeGroup
 	for _, g := range raw {
 		var members []deps.RuleRef

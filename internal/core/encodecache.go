@@ -1,0 +1,178 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"rulefit/internal/deps"
+	"rulefit/internal/policy"
+)
+
+// EncodeCache memoizes the pure per-policy stages of buildEncoding —
+// redundancy removal and dependency-graph construction — plus the
+// cross-policy mergeable-rule search, keyed by canonical policy
+// content. It exists for the stateful delta path (internal/state): a
+// single-rule delta leaves every other policy byte-identical, so its
+// encode artifacts are served from cache instead of being recomputed.
+//
+// Correctness contract: a cache hit must be indistinguishable from a
+// fresh computation. Keys are full canonical renderings (not hashes),
+// so collisions are impossible; cached reduced policies are cloned on
+// both store and serve so no caller can alias cache-owned memory;
+// dependency graphs and merge groups are shared read-only (their
+// consumers never mutate them — BreakCycles copies member slices).
+// TestEncodeCacheByteIdentity asserts placements are byte-identical
+// with and without a cache attached.
+type EncodeCache struct {
+	mu       sync.Mutex
+	policies map[string]policyArtifacts
+	polOrder []string
+	merges   map[string][]deps.MergeGroup
+	mrgOrder []string
+
+	policyHits, policyMisses int64
+	mergeHits, mergeMisses   int64
+}
+
+// policyArtifacts is one cached per-policy encode result.
+type policyArtifacts struct {
+	reduced *policy.Policy
+	graph   *deps.Graph
+}
+
+// Cache bounds: a session's working set is one entry per live policy
+// (plus churn); the caps only matter under adversarial policy churn,
+// where the oldest entries are evicted first (deterministically).
+const (
+	maxPolicyEntries = 512
+	maxMergeEntries  = 64
+)
+
+// NewEncodeCache returns an empty cache. One cache must only be
+// shared by solves that tolerate each other's content: keying is by
+// policy bytes and the RemoveRedundant flag, so differing objectives,
+// routings, or capacities may share a cache safely (those inputs do
+// not enter the cached stages).
+func NewEncodeCache() *EncodeCache {
+	return &EncodeCache{
+		policies: make(map[string]policyArtifacts),
+		merges:   make(map[string][]deps.MergeGroup),
+	}
+}
+
+// EncodeCacheStats is a point-in-time snapshot of the hit counters.
+type EncodeCacheStats struct {
+	PolicyHits   int64 `json:"policy_hits"`
+	PolicyMisses int64 `json:"policy_misses"`
+	MergeHits    int64 `json:"merge_hits"`
+	MergeMisses  int64 `json:"merge_misses"`
+}
+
+// Stats snapshots the cumulative hit/miss counters.
+func (c *EncodeCache) Stats() EncodeCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return EncodeCacheStats{
+		PolicyHits:   c.policyHits,
+		PolicyMisses: c.policyMisses,
+		MergeHits:    c.mergeHits,
+		MergeMisses:  c.mergeMisses,
+	}
+}
+
+// policyKey renders a policy to its canonical cache key. Ingress is
+// part of the key: the served artifact carries the ingress, so two
+// otherwise identical policies on different ingresses must not share
+// an entry. The rendering includes width (via the match strings),
+// priorities, actions, and the default action, so it is a faithful
+// fingerprint of everything RemoveRedundant and BuildGraph read.
+func policyKey(pol *policy.Policy, removeRedundant bool) string {
+	var sb strings.Builder
+	if removeRedundant {
+		sb.WriteString("rr1\x00")
+	} else {
+		sb.WriteString("rr0\x00")
+	}
+	sb.WriteString(pol.String())
+	return sb.String()
+}
+
+// lookupPolicy serves the cached (reduced policy, dependency graph)
+// pair for a policy, or reports a miss. The reduced policy is cloned:
+// the encoding and the Placement that escapes from it own their copy.
+func (c *EncodeCache) lookupPolicy(pol *policy.Policy, removeRedundant bool) (*policy.Policy, *deps.Graph, bool) {
+	key := policyKey(pol, removeRedundant)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	art, ok := c.policies[key]
+	if !ok {
+		c.policyMisses++
+		return nil, nil, false
+	}
+	c.policyHits++
+	return art.reduced.Clone(), art.graph, true
+}
+
+// storePolicy records freshly computed artifacts for a policy. The
+// reduced policy is cloned into the cache so the caller's copy (which
+// escapes into the Placement) cannot alias cache-owned memory.
+func (c *EncodeCache) storePolicy(pol *policy.Policy, removeRedundant bool, reduced *policy.Policy, g *deps.Graph) {
+	key := policyKey(pol, removeRedundant)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.policies[key]; ok {
+		return
+	}
+	if len(c.polOrder) >= maxPolicyEntries {
+		oldest := c.polOrder[0]
+		c.polOrder = c.polOrder[1:]
+		delete(c.policies, oldest)
+	}
+	c.policies[key] = policyArtifacts{reduced: reduced.Clone(), graph: g}
+	c.polOrder = append(c.polOrder, key)
+}
+
+// mergeKey renders the full (already reduced) policy list to the
+// canonical key of its mergeable-group search.
+func mergeKey(policies []*policy.Policy) string {
+	var sb strings.Builder
+	for _, pol := range policies {
+		sb.WriteString(pol.String())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// lookupMerge serves the cached FindMergeable result for a policy
+// list. The groups are shared read-only: every consumer copies before
+// mutating (buildMerging filters into fresh groups, BreakCycles
+// copies member slices).
+func (c *EncodeCache) lookupMerge(policies []*policy.Policy) ([]deps.MergeGroup, bool) {
+	key := mergeKey(policies)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	groups, ok := c.merges[key]
+	if !ok {
+		c.mergeMisses++
+		return nil, false
+	}
+	c.mergeHits++
+	return groups, true
+}
+
+// storeMerge records a freshly computed FindMergeable result.
+func (c *EncodeCache) storeMerge(policies []*policy.Policy, groups []deps.MergeGroup) {
+	key := mergeKey(policies)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.merges[key]; ok {
+		return
+	}
+	if len(c.mrgOrder) >= maxMergeEntries {
+		oldest := c.mrgOrder[0]
+		c.mrgOrder = c.mrgOrder[1:]
+		delete(c.merges, oldest)
+	}
+	c.merges[key] = groups
+	c.mrgOrder = append(c.mrgOrder, key)
+}

@@ -21,6 +21,21 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
+	// Per-policy decomposition: when policies couple only through the
+	// capacity rows, solve them independently and stitch — provably
+	// optimal when the stitched optima respect every capacity, and the
+	// basis of the stateful delta path's per-policy fragment reuse.
+	// Deterministic: whether it applies and whether the stitch is
+	// accepted are pure functions of (prob, opts).
+	if decomposable(prob, opts) {
+		pl, ok, err := placeDecomposed(prob, opts, place)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return pl, nil
+		}
+	}
 	encSp := place.Child("encode")
 	enc, err := buildEncoding(prob, opts, encSp)
 	if err != nil {

@@ -136,6 +136,21 @@ type Options struct {
 	// events, and log lines join by ID. Purely observational — the
 	// placement is byte-identical with or without it.
 	Request *obs.RequestCtx
+	// EncodeCache, when non-nil, memoizes the pure per-policy encode
+	// stages (redundancy removal, dependency graphs) and the
+	// cross-policy merge search across solves, keyed by policy content.
+	// The stateful session layer (internal/state) attaches one per
+	// session so single-policy deltas skip re-analyzing the unchanged
+	// policies. The placement is byte-identical with or without it
+	// (TestEncodeCacheByteIdentity).
+	EncodeCache *EncodeCache
+	// SolutionCache, when non-nil, memoizes per-policy placement
+	// fragments on the decomposed solve path (see decompose.go), keyed
+	// by the full subproblem rendering. The stateful session layer
+	// attaches one per session so small deltas re-solve only the
+	// subproblems they changed. The placement is byte-identical with or
+	// without it (TestDecomposedSolutionCacheByteIdentity).
+	SolutionCache *SolutionCache
 }
 
 // traceID returns the request trace ID ("" when unscoped).

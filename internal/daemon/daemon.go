@@ -31,6 +31,7 @@ import (
 	"rulefit/internal/core"
 	"rulefit/internal/obs"
 	"rulefit/internal/spec"
+	"rulefit/internal/state"
 	"rulefit/internal/topology"
 )
 
@@ -78,6 +79,10 @@ type Config struct {
 	// of how fast tiny instances happen to solve. Placement bytes are
 	// unaffected.
 	SolveDelay time.Duration
+	// MaxSessions bounds live stateful sessions (POST /v1/session);
+	// creating one past the cap evicts the least-recently-used session
+	// (default 64).
+	MaxSessions int
 }
 
 // withDefaults fills unset fields.
@@ -124,6 +129,7 @@ type Server struct {
 	started  time.Time
 	reqRing  *secRing // finished requests per second, for /statusz rates
 	shedRing *secRing // 429-shed requests per second
+	sessions *state.Manager
 }
 
 // New builds a server from cfg.
@@ -139,7 +145,10 @@ func New(cfg Config) *Server {
 		reqRing:  newSecRing(statusRingSlots),
 		shedRing: newSecRing(statusRingSlots),
 	}
+	s.sessions = state.NewManager(state.Config{MaxSessions: cfg.MaxSessions, Logger: cfg.Logger})
 	s.mux.HandleFunc("/v1/place", s.handlePlace)
+	s.mux.HandleFunc("/v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("/v1/session/", s.handleSession)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics/json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
@@ -386,34 +395,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: MaxInFlight solving, MaxQueue waiting, 429 beyond.
-	if s.queued.Add(1) > int64(s.cfg.MaxInFlight+s.cfg.MaxQueue) {
-		s.queued.Add(-1)
-		st.code, st.status = http.StatusTooManyRequests, "shed"
-		st.err = errors.New("server at capacity")
+	release, ok := s.acquireSlot(r, &st)
+	if !ok {
 		s.finish(w, r, st)
 		return
 	}
-	defer s.queued.Add(-1)
-	s.met.QueueDepth().Add(1)
-	admit := time.Now()
-	select {
-	case s.sem <- struct{}{}:
-		s.met.QueueDepth().Add(-1)
-		st.queueWait = time.Since(admit)
-	case <-r.Context().Done():
-		s.met.QueueDepth().Add(-1)
-		st.code, st.status = statusClientClosed, "canceled"
-		st.err = r.Context().Err()
-		s.finish(w, r, st)
-		return
-	}
-	defer func() { <-s.sem }()
-	s.met.InFlight().Add(1)
-	defer s.met.InFlight().Add(-1)
-	if s.cfg.SolveDelay > 0 {
-		time.Sleep(s.cfg.SolveDelay)
-	}
+	defer release()
 
 	parseStart := time.Now()
 	var req PlaceRequest
@@ -492,14 +479,55 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 // client-canceled requests; net/http has no named constant for it.
 const statusClientClosed = 499
 
+// acquireSlot runs the admission policy for one solve-bound request:
+// MaxInFlight solving, MaxQueue waiting, 429 beyond, 499 when the
+// client leaves the queue. On success it returns the release func the
+// caller must defer; on failure st carries the refusal and the caller
+// just finishes the request.
+func (s *Server) acquireSlot(r *http.Request, st *requestState) (func(), bool) {
+	if s.queued.Add(1) > int64(s.cfg.MaxInFlight+s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		st.code, st.status = http.StatusTooManyRequests, "shed"
+		st.err = errors.New("server at capacity")
+		return nil, false
+	}
+	s.met.QueueDepth().Add(1)
+	admit := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.met.QueueDepth().Add(-1)
+		st.queueWait = time.Since(admit)
+	case <-r.Context().Done():
+		s.met.QueueDepth().Add(-1)
+		s.queued.Add(-1)
+		st.code, st.status = statusClientClosed, "canceled"
+		st.err = r.Context().Err()
+		return nil, false
+	}
+	s.met.InFlight().Add(1)
+	if s.cfg.SolveDelay > 0 {
+		time.Sleep(s.cfg.SolveDelay)
+	}
+	return func() {
+		s.met.InFlight().Add(-1)
+		<-s.sem
+		s.queued.Add(-1)
+	}, true
+}
+
 // requestState accumulates one request's outcome for the response,
 // the log line, and the metrics sample.
 type requestState struct {
 	traceID   string
+	op        string // log message ("" = "place")
 	code      int
 	status    string
 	err       error
 	placement *core.Placement
+	// body, when non-nil, overrides the success response JSON (the
+	// session endpoints use their own shapes; /v1/place keeps
+	// PlaceResponse). A *SessionResponse gets WallMS stamped by finish.
+	body      any
 	start     time.Time
 	queueWait time.Duration // admission to solve-slot acquisition
 	parse     time.Duration // body decode + spec build + option parse
@@ -589,7 +617,11 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, st requestState)
 			s.shedRing.addAt(now, 1)
 		}
 	}
-	s.log.LogAttrs(r.Context(), level, "place", attrs...)
+	op := st.op
+	if op == "" {
+		op = "place"
+	}
+	s.log.LogAttrs(r.Context(), level, op, attrs...)
 
 	if st.traceID != "" {
 		w.Header().Set("X-Rulefit-Trace-Id", st.traceID)
@@ -600,6 +632,17 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, st requestState)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(st.code)
 	enc := json.NewEncoder(w)
+	if st.body != nil {
+		if sr, ok := st.body.(*SessionResponse); ok {
+			//lint:detsource measured latency is the point of this field
+			sr.WallMS = float64(wall.Microseconds()) / 1e3
+		}
+		if err := enc.Encode(st.body); err != nil {
+			s.log.LogAttrs(r.Context(), slog.LevelWarn, "write_response",
+				slog.String("trace_id", st.traceID), slog.String("error", err.Error()))
+		}
+		return
+	}
 	if st.placement == nil {
 		msg := ""
 		if st.err != nil {

@@ -8,7 +8,6 @@ import (
 
 	"rulefit/internal/core"
 	"rulefit/internal/match"
-	"rulefit/internal/policy"
 	"rulefit/internal/randgen"
 	"rulefit/internal/spec"
 )
@@ -139,55 +138,8 @@ func LoadFixture(path string) (*Fixture, error) {
 	return &f, nil
 }
 
-// ProblemToSpec flattens a core problem into fully explicit spec form:
-// explicit switch list, links, ports, verbatim paths (with traffic
-// patterns), and pattern-string rules. The round trip through
-// spec.Problem.Build is exact because ternary String/ParseTernary are
-// inverses.
+// ProblemToSpec flattens a core problem into fully explicit spec form
+// (see spec.FromCore, which the delta session layer also uses).
 func ProblemToSpec(p *core.Problem) *spec.Problem {
-	out := &spec.Problem{}
-	out.Topology.Type = "explicit"
-	for _, sw := range p.Network.Switches() {
-		out.Topology.SwitchList = append(out.Topology.SwitchList, spec.Switch{
-			ID: int(sw.ID), Capacity: sw.Capacity, Name: sw.Name,
-		})
-	}
-	for _, sw := range p.Network.Switches() {
-		for _, nb := range p.Network.Neighbors(sw.ID) {
-			if nb > sw.ID {
-				out.Topology.Links = append(out.Topology.Links, [2]int{int(sw.ID), int(nb)})
-			}
-		}
-	}
-	for _, pt := range p.Network.Ports() {
-		out.Topology.Ports = append(out.Topology.Ports, spec.Port{
-			ID: int(pt.ID), Switch: int(pt.Switch), Ingress: pt.Ingress, Egress: pt.Egress,
-		})
-	}
-	for _, ing := range p.Routing.Ingresses() {
-		for _, path := range p.Routing.Sets[ing].Paths {
-			sp := spec.Path{Ingress: int(path.Ingress), Egress: int(path.Egress)}
-			for _, s := range path.Switches {
-				sp.Switches = append(sp.Switches, int(s))
-			}
-			if path.HasTraffic {
-				sp.Traffic = path.Traffic.String()
-			}
-			out.Routing.Paths = append(out.Routing.Paths, sp)
-		}
-	}
-	for _, pol := range p.Policies {
-		sp := spec.Policy{Ingress: pol.Ingress}
-		for _, r := range pol.Rules {
-			action := "permit"
-			if r.Action == policy.Drop {
-				action = "drop"
-			}
-			sp.Rules = append(sp.Rules, spec.Rule{
-				Pattern: r.Match.String(), Action: action, Priority: r.Priority,
-			})
-		}
-		out.Policies = append(out.Policies, sp)
-	}
-	return out
+	return spec.FromCore(p)
 }

@@ -71,6 +71,10 @@ type Report struct {
 
 	// Sweep is present on shed-point sweep runs.
 	Sweep *SweepRecord `json:"sweep,omitempty"`
+
+	// Delta is present on delta-replay runs (the warm-vs-cold session
+	// SLO measurement; see delta.go).
+	Delta *DeltaRecord `json:"delta,omitempty"`
 }
 
 // ConfigRecord records the harness parameters of the run.
@@ -83,8 +87,9 @@ type ConfigRecord struct {
 	DurationSec  float64 `json:"duration_sec,omitempty"`
 	Merging      bool    `json:"merging"`
 	TimeLimitSec float64 `json:"time_limit_sec"`
-	// Mode is "closed" (fixed concurrency), "open" (fixed RPS), or
-	// "sweep" (shed-point search).
+	// Mode is "closed" (fixed concurrency), "open" (fixed RPS),
+	// "sweep" (shed-point search), or "delta" (session warm-vs-cold
+	// replay).
 	Mode string `json:"mode"`
 	// Target is "http" (a live daemon) or "inprocess" (core.Place).
 	Target string `json:"target"`

@@ -54,6 +54,11 @@ type Metrics struct {
 	// (queue_wait, parse, encode, model_build, solve, extract), fed by
 	// RecordPhase from the daemon's per-request span tree.
 	phaseWall LabeledHistogram
+
+	// Session-layer instruments (the daemon's stateful delta path).
+	sessions    Gauge          // live placement sessions
+	deltas      LabeledCounter // delta answers by solve path (identity/warm/cold)
+	encodeCache LabeledCounter // encode-cache lookups by (kind, outcome)
 }
 
 // Default is the process-wide registry.
@@ -196,6 +201,26 @@ func (m *Metrics) RecordRequest(s RequestSample) {
 	}
 }
 
+// RecordDelta counts one session delta answer by the fallback-ladder
+// level that served it ("identity", "warm", or "cold").
+func (m *Metrics) RecordDelta(path string) {
+	m.deltas.Add(1, path)
+}
+
+// RecordEncodeCache folds encode-cache lookup counts for one solve
+// into the (kind, outcome) counter. kind is "policy" or "merge".
+func (m *Metrics) RecordEncodeCache(kind string, hits, misses int64) {
+	if hits > 0 {
+		m.encodeCache.Add(hits, kind, "hit")
+	}
+	if misses > 0 {
+		m.encodeCache.Add(misses, kind, "miss")
+	}
+}
+
+// Sessions is the gauge of live placement sessions.
+func (m *Metrics) Sessions() *Gauge { return &m.sessions }
+
 // InFlight is the gauge of requests currently solving.
 func (m *Metrics) InFlight() *Gauge { return &m.requests }
 
@@ -225,6 +250,9 @@ func (m *Metrics) Reset() {
 	m.queue.Set(0)
 	m.byStatus.reset()
 	m.phaseWall.reset()
+	m.sessions.Set(0)
+	m.deltas.reset()
+	m.encodeCache.reset()
 }
 
 // RequestCount is one (status, stop_reason) series of the request
@@ -233,6 +261,20 @@ type RequestCount struct {
 	Status     string `json:"status"`
 	StopReason string `json:"stop_reason"`
 	Count      int64  `json:"count"`
+}
+
+// DeltaCount is one solve-path series of the session delta counter.
+type DeltaCount struct {
+	Path  string `json:"path"`
+	Count int64  `json:"count"`
+}
+
+// EncodeCacheCount is one (kind, outcome) series of the encode-cache
+// lookup counter.
+type EncodeCacheCount struct {
+	Kind    string `json:"kind"`    // "policy" or "merge"
+	Outcome string `json:"outcome"` // "hit" or "miss"
+	Count   int64  `json:"count"`
 }
 
 // MetricsSnapshot is a point-in-time JSON-encodable copy of a Metrics.
@@ -256,13 +298,16 @@ type MetricsSnapshot struct {
 	LostSubtrees     int64   `json:"lost_subtrees"`
 	PrunedStale      int64   `json:"pruned_stale"`
 
-	InFlightRequests int64             `json:"in_flight_requests"`
-	QueueDepth       int64             `json:"queue_depth"`
-	Requests         []RequestCount    `json:"requests,omitempty"`
-	SolveWallHist    HistogramSnapshot `json:"solve_wall_seconds_hist"`
-	SolveNodesHist   HistogramSnapshot `json:"solve_nodes_hist"`
-	SolveItersHist   HistogramSnapshot `json:"solve_simplex_iters_hist"`
-	InstalledRules   HistogramSnapshot `json:"installed_rules_hist"`
+	InFlightRequests int64              `json:"in_flight_requests"`
+	QueueDepth       int64              `json:"queue_depth"`
+	SessionsActive   int64              `json:"sessions_active"`
+	Deltas           []DeltaCount       `json:"session_deltas,omitempty"`
+	EncodeCache      []EncodeCacheCount `json:"encode_cache,omitempty"`
+	Requests         []RequestCount     `json:"requests,omitempty"`
+	SolveWallHist    HistogramSnapshot  `json:"solve_wall_seconds_hist"`
+	SolveNodesHist   HistogramSnapshot  `json:"solve_nodes_hist"`
+	SolveItersHist   HistogramSnapshot  `json:"solve_simplex_iters_hist"`
+	InstalledRules   HistogramSnapshot  `json:"installed_rules_hist"`
 	// PhaseWall attributes request wall time per pipeline phase
 	// (absent until the daemon records a request).
 	PhaseWall []LabeledHist `json:"request_phase_seconds_hist,omitempty"`
@@ -298,6 +343,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		InstalledRules:   m.placedRules.Snapshot(),
 		PhaseWall:        m.phaseWall.Snapshot(),
 	}
+	s.SessionsActive = m.sessions.Value()
 	for _, lc := range m.byStatus.Snapshot() {
 		rc := RequestCount{Count: lc.Value}
 		if len(lc.Labels) > 0 {
@@ -307,6 +353,23 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			rc.StopReason = lc.Labels[1]
 		}
 		s.Requests = append(s.Requests, rc)
+	}
+	for _, lc := range m.deltas.Snapshot() {
+		dc := DeltaCount{Count: lc.Value}
+		if len(lc.Labels) > 0 {
+			dc.Path = lc.Labels[0]
+		}
+		s.Deltas = append(s.Deltas, dc)
+	}
+	for _, lc := range m.encodeCache.Snapshot() {
+		ec := EncodeCacheCount{Count: lc.Value}
+		if len(lc.Labels) > 0 {
+			ec.Kind = lc.Labels[0]
+		}
+		if len(lc.Labels) > 1 {
+			ec.Outcome = lc.Labels[1]
+		}
+		s.EncodeCache = append(s.EncodeCache, ec)
 	}
 	return s
 }
@@ -445,7 +508,26 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{name: "rulefit_request_queue_depth", help: "Placement requests admitted but waiting for a solve slot.", typ: "gauge", series: []series{
 			{val: float64(s.QueueDepth)},
 		}},
+		{name: "rulefit_sessions_active", help: "Live placement sessions held by the stateful delta layer.", typ: "gauge", series: []series{
+			{val: float64(s.SessionsActive)},
+		}},
 	}
+	deltaFamily := family{name: "rulefit_session_deltas_total", help: "Session delta answers by fallback-ladder solve path.", typ: "counter"}
+	for _, dc := range s.Deltas {
+		deltaFamily.series = append(deltaFamily.series, series{
+			labels: fmt.Sprintf(`{path="%s"}`, escapeLabel(dc.Path)),
+			val:    float64(dc.Count),
+		})
+	}
+	families = append(families, deltaFamily)
+	cacheFamily := family{name: "rulefit_encode_cache_total", help: "Encode-cache lookups by artifact kind and outcome.", typ: "counter"}
+	for _, ec := range s.EncodeCache {
+		cacheFamily.series = append(cacheFamily.series, series{
+			labels: fmt.Sprintf(`{kind="%s",outcome="%s"}`, escapeLabel(ec.Kind), escapeLabel(ec.Outcome)),
+			val:    float64(ec.Count),
+		})
+	}
+	families = append(families, cacheFamily)
 	reqFamily := family{name: "rulefit_requests_total", help: "Placement requests by outcome and solver stop reason.", typ: "counter"}
 	for _, rc := range s.Requests {
 		reqFamily.series = append(reqFamily.series, series{

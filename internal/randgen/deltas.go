@@ -1,0 +1,269 @@
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"rulefit/internal/spec"
+)
+
+// GenerateDeltas draws a seeded stream of n valid deltas against an
+// explicit problem (spec.FromCore form). The stream is stateful: each
+// delta is drawn from — and applied to — the evolving instance, so the
+// whole sequence is applicable in order. The mix covers every delta op
+// (rule add/remove, policy update, capacity change, link/switch churn,
+// path replacement), and one draw in five inverts the previous rule
+// add, returning the instance to an earlier canonical state so replay
+// harnesses exercise the session layer's identity fast path.
+//
+// Generation is a pure function of (sp, n, seed): the caller's problem
+// is never mutated.
+func GenerateDeltas(sp *spec.Problem, n int, seed int64) ([]spec.Delta, error) {
+	if err := sp.ExplicitOnly(); err != nil {
+		return nil, err
+	}
+	g := &deltaGen{
+		work:       sp.Clone(),
+		rng:        rand.New(rand.NewSource(seed*9_176_351 + 29)),
+		nextSwitch: maxSwitchID(sp) + 1,
+	}
+	out := make([]spec.Delta, 0, n)
+	misses := 0
+	for len(out) < n {
+		d, ok := g.draw()
+		if !ok {
+			if misses++; misses > 1000 {
+				return nil, fmt.Errorf("randgen: no applicable delta after %d draws (instance too degenerate)", misses)
+			}
+			continue
+		}
+		misses = 0
+		if err := g.work.Apply(d); err != nil {
+			return nil, fmt.Errorf("randgen: generated inapplicable delta %s: %w", d, err)
+		}
+		g.applied(d)
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// deltaGen holds the evolving instance plus the bookkeeping needed to
+// draw only applicable moves.
+type deltaGen struct {
+	work       *spec.Problem
+	rng        *rand.Rand
+	nextSwitch int
+	// added tracks switches this stream created (safe to remove: they
+	// never host ports or paths).
+	added []int
+	// lastAdd is the most recent add_rule, invertible into a
+	// remove_rule that restores the prior canonical state.
+	lastAdd *spec.Delta
+}
+
+// draw picks the next delta kind; ok=false means the drawn kind had no
+// applicable move on the current instance (caller redraws).
+func (g *deltaGen) draw() (spec.Delta, bool) {
+	if g.lastAdd != nil && g.rng.Intn(5) == 0 {
+		d := spec.Delta{Op: spec.OpRemoveRule, Ingress: g.lastAdd.Ingress, Priority: g.lastAdd.Rule.Priority}
+		return d, true
+	}
+	switch r := g.rng.Intn(100); {
+	case r < 35:
+		return g.addRule()
+	case r < 50:
+		return g.removeRule()
+	case r < 60:
+		return g.updatePolicy()
+	case r < 75:
+		return g.setCapacity()
+	case r < 90:
+		return g.churn()
+	default:
+		return g.setPaths()
+	}
+}
+
+// applied updates bookkeeping after a delta was applied to work.
+func (g *deltaGen) applied(d spec.Delta) {
+	g.lastAdd = nil
+	switch d.Op {
+	case spec.OpAddRule:
+		cp := d
+		g.lastAdd = &cp
+	case spec.OpAddSwitch:
+		g.added = append(g.added, d.Switch)
+		if d.Switch >= g.nextSwitch {
+			g.nextSwitch = d.Switch + 1
+		}
+	case spec.OpRemoveSwitch:
+		for i, id := range g.added {
+			if id == d.Switch {
+				g.added = append(g.added[:i], g.added[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (g *deltaGen) addRule() (spec.Delta, bool) {
+	if len(g.work.Policies) == 0 {
+		return spec.Delta{}, false
+	}
+	pol := &g.work.Policies[g.rng.Intn(len(g.work.Policies))]
+	if len(pol.Rules) == 0 {
+		return spec.Delta{}, false
+	}
+	width := len(pol.Rules[0].Pattern)
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		switch g.rng.Intn(4) {
+		case 0, 1:
+			b.WriteByte('*')
+		case 2:
+			b.WriteByte('0')
+		default:
+			b.WriteByte('1')
+		}
+	}
+	action := "permit"
+	if g.rng.Intn(2) == 0 {
+		action = "drop"
+	}
+	prio := 0
+	for _, r := range pol.Rules {
+		if r.Priority > prio {
+			prio = r.Priority
+		}
+	}
+	return spec.Delta{
+		Op:      spec.OpAddRule,
+		Ingress: pol.Ingress,
+		Rule:    &spec.Rule{Pattern: b.String(), Action: action, Priority: prio + 1 + g.rng.Intn(3)},
+	}, true
+}
+
+func (g *deltaGen) removeRule() (spec.Delta, bool) {
+	var candidates []int
+	for i := range g.work.Policies {
+		if len(g.work.Policies[i].Rules) >= 2 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return spec.Delta{}, false
+	}
+	pol := &g.work.Policies[candidates[g.rng.Intn(len(candidates))]]
+	victim := pol.Rules[g.rng.Intn(len(pol.Rules))]
+	return spec.Delta{Op: spec.OpRemoveRule, Ingress: pol.Ingress, Priority: victim.Priority}, true
+}
+
+// updatePolicy flips one rule's action in a whole-policy replacement —
+// the smallest update that changes semantics without touching the
+// dependency structure.
+func (g *deltaGen) updatePolicy() (spec.Delta, bool) {
+	if len(g.work.Policies) == 0 {
+		return spec.Delta{}, false
+	}
+	pol := &g.work.Policies[g.rng.Intn(len(g.work.Policies))]
+	if len(pol.Rules) == 0 {
+		return spec.Delta{}, false
+	}
+	rules := append([]spec.Rule(nil), pol.Rules...)
+	i := g.rng.Intn(len(rules))
+	if rules[i].Action == "drop" {
+		rules[i].Action = "permit"
+	} else {
+		rules[i].Action = "drop"
+	}
+	return spec.Delta{Op: spec.OpUpdatePolicy, Ingress: pol.Ingress, Rules: rules}, true
+}
+
+// setCapacity mostly nudges a switch upward (keeping instances
+// feasible and exercising the capacity-raise metamorphic property) but
+// occasionally re-draws the capacity from scratch, tight included.
+func (g *deltaGen) setCapacity() (spec.Delta, bool) {
+	sl := g.work.Topology.SwitchList
+	if len(sl) == 0 {
+		return spec.Delta{}, false
+	}
+	sw := sl[g.rng.Intn(len(sl))]
+	capacity := sw.Capacity + 1 + g.rng.Intn(4)
+	if g.rng.Intn(10) < 3 {
+		total := 0
+		for _, pol := range g.work.Policies {
+			total += len(pol.Rules)
+		}
+		capacity = 1 + g.rng.Intn(total+4)
+	}
+	return spec.Delta{Op: spec.OpSetCapacity, Switch: sw.ID, Capacity: capacity}, true
+}
+
+// churn adds a switch, links it in, or removes a switch this stream
+// added earlier (those never host ports or paths, so removal is legal).
+func (g *deltaGen) churn() (spec.Delta, bool) {
+	if len(g.added) > 0 && g.rng.Intn(3) == 0 {
+		return spec.Delta{Op: spec.OpRemoveSwitch, Switch: g.added[g.rng.Intn(len(g.added))]}, true
+	}
+	sl := g.work.Topology.SwitchList
+	if len(sl) >= 2 && g.rng.Intn(2) == 0 {
+		for try := 0; try < 8; try++ {
+			a := sl[g.rng.Intn(len(sl))].ID
+			b := sl[g.rng.Intn(len(sl))].ID
+			if a == b || g.hasLink(a, b) {
+				continue
+			}
+			return spec.Delta{Op: spec.OpAddLink, Link: &[2]int{a, b}}, true
+		}
+		return spec.Delta{}, false
+	}
+	return spec.Delta{Op: spec.OpAddSwitch, Switch: g.nextSwitch, Capacity: 1 + g.rng.Intn(8)}, true
+}
+
+func (g *deltaGen) hasLink(a, b int) bool {
+	for _, l := range g.work.Topology.Links {
+		if (l[0] == a && l[1] == b) || (l[0] == b && l[1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// setPaths drops one path from an ingress that has several, the
+// smallest routing churn that keeps every policy routable.
+func (g *deltaGen) setPaths() (spec.Delta, bool) {
+	byIngress := map[int][]spec.Path{}
+	for _, p := range g.work.Routing.Paths {
+		byIngress[p.Ingress] = append(byIngress[p.Ingress], p)
+	}
+	var candidates []int
+	for ing, paths := range byIngress {
+		if len(paths) >= 2 {
+			candidates = append(candidates, ing)
+		}
+	}
+	if len(candidates) == 0 {
+		return spec.Delta{}, false
+	}
+	// Map iteration order is random; sort before drawing so the stream
+	// stays a pure function of the seed.
+	sort.Ints(candidates)
+	ing := candidates[g.rng.Intn(len(candidates))]
+	paths := byIngress[ing]
+	drop := g.rng.Intn(len(paths))
+	kept := append(append([]spec.Path(nil), paths[:drop]...), paths[drop+1:]...)
+	return spec.Delta{Op: spec.OpSetPaths, Ingress: ing, Paths: kept}, true
+}
+
+// maxSwitchID returns the largest switch ID in the topology.
+func maxSwitchID(sp *spec.Problem) int {
+	maxID := 0
+	for _, sw := range sp.Topology.SwitchList {
+		if sw.ID > maxID {
+			maxID = sw.ID
+		}
+	}
+	return maxID
+}

@@ -1,0 +1,67 @@
+package randgen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rulefit/internal/spec"
+)
+
+// TestGenerateDeltasDeterministic: the stream is a pure function of
+// (problem, n, seed) and never mutates the caller's problem.
+func TestGenerateDeltasDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 9, 33} {
+		inst, err := Generate(FromSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sp := spec.FromCore(inst.Problem)
+		before := string(sp.Canonical())
+		a, err := GenerateDeltas(sp, 10, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := GenerateDeltas(sp, 10, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Errorf("seed %d: two generations differ:\n%s\nvs\n%s", seed, aj, bj)
+		}
+		if got := string(sp.Canonical()); got != before {
+			t.Errorf("seed %d: GenerateDeltas mutated the input problem", seed)
+		}
+	}
+}
+
+// TestGenerateDeltasApplicable: every stream applies cleanly in order
+// and the post-state still builds and validates.
+func TestGenerateDeltasApplicable(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		inst, err := Generate(FromSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sp := spec.FromCore(inst.Problem)
+		deltas, err := GenerateDeltas(sp, 8, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(deltas) != 8 {
+			t.Fatalf("seed %d: got %d deltas, want 8", seed, len(deltas))
+		}
+		work := sp.Clone()
+		if err := work.ApplyAll(deltas); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prob, err := work.Build()
+		if err != nil {
+			t.Fatalf("seed %d: post-delta build: %v", seed, err)
+		}
+		if err := prob.Validate(); err != nil {
+			t.Fatalf("seed %d: post-delta validate: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package state
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rulefit/internal/core"
+	"rulefit/internal/randgen"
+	"rulefit/internal/spec"
+)
+
+// testSpec builds a tiny explicit-form instance from a randgen seed.
+func testSpec(t *testing.T, seed int64) *spec.Problem {
+	t.Helper()
+	inst, err := randgen.Generate(randgen.FromSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.FromCore(inst.Problem)
+}
+
+func testOpts() core.Options {
+	return core.Options{Merging: true, RemoveRedundant: true, TimeLimit: 30 * time.Second}
+}
+
+// fp is the byte-identity projection used by the state tests.
+func fp(pl *core.Placement) string {
+	return fmt.Sprintf("%v|%.6f|%d|%v|%v", pl.Status, pl.Objective, pl.TotalRules, pl.Assign, pl.MergedAt)
+}
+
+// coldSolve re-solves an instance from scratch with no session caches.
+func coldSolve(t *testing.T, sp *spec.Problem, opts core.Options) *core.Placement {
+	t.Helper()
+	prob, err := sp.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Place(prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// addRule is a fresh single-rule delta at a priority no generated
+// policy uses.
+func addRule(ingress int) spec.Delta {
+	return spec.Delta{
+		Op:      spec.OpAddRule,
+		Ingress: ingress,
+		Rule:    &spec.Rule{Pattern: "1*1*****", Action: "drop", Priority: 9001},
+	}
+}
+
+// TestSessionLadder drives one session through the three ladder
+// levels and checks every answer against a cold solve.
+func TestSessionLadder(t *testing.T) {
+	sp := testSpec(t, 1)
+	rule := addRule(sp.Policies[0].Ingress)
+	// Widen the pattern to this instance's rule width.
+	w := len(sp.Policies[0].Rules[0].Pattern)
+	rule.Rule.Pattern = "1" + strings.Repeat("*", w-1)
+
+	m := NewManager(Config{})
+	s, res, err := m.Create(sp, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path != PathCold || res.Version != 1 {
+		t.Fatalf("create: path=%s version=%d, want cold v1", res.Path, res.Version)
+	}
+	if got, want := fp(res.Placement), fp(coldSolve(t, sp, testOpts())); got != want {
+		t.Fatalf("create placement differs from cold solve:\n got %s\nwant %s", got, want)
+	}
+	baseFP := fp(res.Placement)
+
+	// L1: one changed policy, the rest served from the encode cache.
+	res, err = s.Delta([]spec.Delta{rule}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path != PathWarm || res.Version != 2 {
+		t.Fatalf("delta: path=%s version=%d, want warm v2", res.Path, res.Version)
+	}
+	if len(sp.Policies) > 1 && res.CacheStats.PolicyHits != int64(len(sp.Policies)-1) {
+		t.Fatalf("delta cache stats %+v, want %d policy hits", res.CacheStats, len(sp.Policies)-1)
+	}
+	after := sp.Clone()
+	if err := after.Apply(rule); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fp(res.Placement), fp(coldSolve(t, after, testOpts())); got != want {
+		t.Fatalf("warm delta differs from cold solve:\n got %s\nwant %s", got, want)
+	}
+
+	// L0: removing the rule restores the original canonical bytes.
+	res, err = s.Delta([]spec.Delta{{
+		Op: spec.OpRemoveRule, Ingress: rule.Ingress, Priority: rule.Rule.Priority,
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path != PathIdentity || res.Version != 3 {
+		t.Fatalf("revert delta: path=%s version=%d, want identity v3", res.Path, res.Version)
+	}
+	if fp(res.Placement) != baseFP {
+		t.Fatalf("add-then-remove did not restore the original placement")
+	}
+}
+
+// TestBadDeltaLeavesSessionUntouched asserts failed deltas roll back
+// completely: version, spec, and placement are unchanged.
+func TestBadDeltaLeavesSessionUntouched(t *testing.T) {
+	sp := testSpec(t, 2)
+	m := NewManager(Config{})
+	s, res, err := m.Create(sp, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fp(res.Placement)
+
+	for _, deltas := range [][]spec.Delta{
+		nil,
+		{{Op: "resize_flux_capacitor"}},
+		{{Op: spec.OpAddRule, Ingress: 424242, Rule: &spec.Rule{Pattern: "1*", Action: "drop", Priority: 1}}},
+		{{Op: spec.OpSetCapacity, Switch: 0, Capacity: -3}},
+		{addRule(sp.Policies[0].Ingress), {Op: spec.OpRemoveRule, Ingress: 424242, Priority: 9001}},
+	} {
+		if _, err := s.Delta(deltas, nil, nil); !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("deltas %v: err=%v, want ErrBadDelta", deltas, err)
+		}
+	}
+	version, pl, got := s.Snapshot()
+	if version != 1 || fp(pl) != before {
+		t.Fatalf("failed deltas mutated the session: version=%d", version)
+	}
+	if !bytes.Equal(got.Canonical(), sp.Clone().Canonical()) {
+		t.Fatal("failed deltas mutated the authoritative spec")
+	}
+}
+
+// TestManagerLRUEviction fills the manager past MaxSessions and
+// checks the least-recently-used session is evicted and logged.
+func TestManagerLRUEviction(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	m := NewManager(Config{MaxSessions: 2, Logger: logger})
+
+	var ids []string
+	for seed := int64(1); seed <= 2; seed++ {
+		s, _, err := m.Create(testSpec(t, seed), testOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID())
+	}
+	// Touch the older session so the newer one becomes the LRU victim.
+	if _, err := m.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	s3, _, err := m.Create(testSpec(t, 3), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("live sessions = %d, want 2", m.Len())
+	}
+	if _, err := m.Get(ids[1]); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("expected LRU victim %s evicted, got err=%v", ids[1], err)
+	}
+	for _, id := range []string{ids[0], s3.ID()} {
+		if _, err := m.Get(id); err != nil {
+			t.Fatalf("session %s should be live: %v", id, err)
+		}
+	}
+	if !strings.Contains(buf.String(), "session evicted") || !strings.Contains(buf.String(), ids[1]) {
+		t.Fatalf("eviction not logged:\n%s", buf.String())
+	}
+
+	if m.Delete(s3.ID()) != true || m.Delete(s3.ID()) != false {
+		t.Fatal("Delete should report liveness")
+	}
+}
+
+// TestConcurrentDeltasSerialize fires commutative deltas from many
+// goroutines; the session must serialize them into a final state
+// identical to a sequential application.
+func TestConcurrentDeltasSerialize(t *testing.T) {
+	sp := testSpec(t, 4)
+	w := len(sp.Policies[0].Rules[0].Pattern)
+	ingress := sp.Policies[0].Ingress
+	const n = 6
+	mkDelta := func(i int) spec.Delta {
+		pat := strings.Repeat("*", w)
+		return spec.Delta{Op: spec.OpAddRule, Ingress: ingress, Rule: &spec.Rule{
+			Pattern: "0" + pat[1:], Action: "drop", Priority: 9100 + i,
+		}}
+	}
+
+	m := NewManager(Config{})
+	s, _, err := m.Create(sp, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Delta([]spec.Delta{mkDelta(i)}, nil, nil)
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent delta %d: %v", i, err)
+		}
+	}
+	version, pl, _ := s.Snapshot()
+	if version != 1+n {
+		t.Fatalf("version = %d, want %d", version, 1+n)
+	}
+
+	seq := sp.Clone()
+	for i := 0; i < n; i++ {
+		if err := seq.Apply(mkDelta(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := fp(pl), fp(coldSolve(t, seq, testOpts())); got != want {
+		t.Fatalf("concurrent final placement differs from sequential cold solve:\n got %s\nwant %s", got, want)
+	}
+}

@@ -10,8 +10,10 @@
 # where facts travel through .vetx files), build, tests, the race
 # detector, the rulefitdebug invariant-checked test pass, a load-harness
 # smoke (live daemon + fixed-RPS ruleload replay + loaddiff schema and
-# self-diff gates, mirroring CI's load-smoke job), and a fuzz smoke
-# (each target briefly, mirroring CI's fuzz-smoke job).
+# self-diff gates, mirroring CI's load-smoke job), a delta smoke (live
+# session replay with warm/cold byte-identity and loaddiff gates,
+# mirroring CI's delta-smoke job), and a fuzz smoke (each target
+# briefly, mirroring CI's fuzz-smoke job).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -80,6 +82,22 @@ curl -sf http://127.0.0.1:18090/statusz | grep -q '"requests_1m"' || fail=1
 kill -TERM "$daemon_pid" 2>/dev/null
 wait "$daemon_pid" 2>/dev/null || true
 
+step "delta smoke (live session replay, byte-identity + loaddiff gates)"
+/tmp/ruleplaced -addr 127.0.0.1:18092 >/tmp/ruleplaced-delta.log 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18092/readyz >/dev/null && break
+    sleep 0.1
+done
+/tmp/ruleload -target http://127.0.0.1:18092 -delta -seed 7 \
+    -delta-steps 6 -delta-ingresses 4 -delta-rules 20 -quiet -out /tmp/delta.json || fail=1
+/tmp/loaddiff -check /tmp/delta.json || fail=1
+/tmp/loaddiff /tmp/delta.json /tmp/delta.json >/dev/null || fail=1
+grep -q '"mismatched": 0' /tmp/delta.json || fail=1
+curl -sf http://127.0.0.1:18092/metrics | grep -q 'rulefit_sessions_active 1' || fail=1
+kill -TERM "$daemon_pid" 2>/dev/null
+wait "$daemon_pid" 2>/dev/null || true
+
 if [ "$mode" != "quick" ]; then
     step "go test -race"
     go test -race ./... || fail=1
@@ -95,6 +113,12 @@ if [ "$mode" != "quick" ]; then
 
     step "fuzz smoke: differential placement"
     go test -fuzz FuzzPlaceDifferential -fuzztime 10s -run '^$' ./internal/diffcheck/ || fail=1
+
+    step "fuzz smoke: session deltas"
+    go test -fuzz FuzzSessionDelta -fuzztime 10s -run '^$' ./internal/daemon/ || fail=1
+
+    step "delta differential suite (race)"
+    go test -race -run 'TestQuickDeltaDifferentialSuite|TestDeltaRegressions|TestDelta' ./internal/diffcheck/ || fail=1
 fi
 
 # Mirror of CI's nightly paper-scale-smoke job (takes minutes; off by
