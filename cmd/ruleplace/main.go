@@ -7,9 +7,14 @@
 //	ruleplace -in problem.json [-backend ilp|sat] [-objective rules|traffic]
 //	          [-merge] [-slice] [-redundancy] [-satisfy] [-tables] [-verify]
 //	          [-timeout 60s] [-trace out.jsonl] [-metrics] [-pprof :6060]
+//	          [-flight out.jsonl] [-flight-events N]
 //
 // -trace writes the solver's structured event stream (node expansions,
 // prunes, incumbents, bound gap) as JSONL and prints a search summary.
+// -flight instead retains only the tail of the stream in a fixed-size
+// ring (-flight-events, default 4096) and dumps it after the solve —
+// the same bounded-memory recorder the daemon keeps always-on; useful
+// for solves whose full trace would be gigabytes.
 // -metrics prints the pipeline phase spans and Prometheus-text counters
 // after the run. -pprof serves net/http/pprof plus /metrics on the given
 // address for the duration of the solve.
@@ -69,6 +74,8 @@ func run() error {
 		timeout    = flag.Duration("timeout", 120*time.Second, "solver time limit")
 		smtOut     = flag.String("smtlib", "", "also dump the SMT-LIB 2 encoding to this file")
 		traceOut   = flag.String("trace", "", "write the solver event stream (JSONL) to this file")
+		flightOut  = flag.String("flight", "", "write a flight-recorder ring dump (tail of the event stream, JSONL) to this file")
+		flightSize = flag.Int("flight-events", 0, "flight ring size in events (0 = 4096)")
 		metrics    = flag.Bool("metrics", false, "print phase spans and Prometheus counters after the run")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	)
@@ -131,6 +138,11 @@ func run() error {
 		traceJW = obs.NewJSONLWriter(f)
 		opts.SolverSink = obs.Multi(&rec, traceJW)
 	}
+	var flightRec *obs.FlightRecorder
+	if *flightOut != "" {
+		flightRec = obs.NewFlightRecorder(obs.FlightOpts{Size: *flightSize})
+		opts.SolverSink = obs.Multi(opts.SolverSink, flightRec)
+	}
 	opts.Trace = spanTrace
 	switch *backend {
 	case "ilp":
@@ -186,6 +198,22 @@ func run() error {
 		if err := sum.Check(); err != nil {
 			return fmt.Errorf("trace self-check: %w", err)
 		}
+	}
+	if flightRec != nil {
+		d := flightRec.Dump()
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			return err
+		}
+		if err := d.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("flight      : %d of %d events retained (%d dropped, %d sampled) -> %s\n",
+			len(d.Events), d.Seen, d.Dropped, d.Sampled, *flightOut)
 	}
 	fmt.Printf("status      : %v\n", pl.Status)
 	fmt.Printf("solve time  : %v\n", time.Since(start).Round(time.Millisecond))

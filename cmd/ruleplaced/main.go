@@ -9,7 +9,8 @@
 //	           [-max-inflight N] [-max-queue N] [-max-sessions N]
 //	           [-default-timeout 60s] [-max-timeout 10m]
 //	           [-trace-dir DIR] [-drain-timeout 30s] [-no-slo]
-//	           [-solve-delay D]
+//	           [-solve-delay D] [-flight-events N] [-flight-dir DIR]
+//	           [-profile-threshold D] [-profile-dir DIR]
 //
 // Endpoints (on -addr):
 //
@@ -20,21 +21,33 @@
 //	DELETE /v1/session/{id}       drop the session
 //	GET    /metrics               Prometheus text exposition (counters, gauges, histograms)
 //	GET    /metrics/json          JSON metrics snapshot
-//	GET    /statusz               saturation snapshot: in-flight, queue depth, 1m/5m request and shed rates
+//	GET    /statusz               saturation snapshot: in-flight, queue depth, 1m/5m request and shed rates, live solves
 //	GET    /healthz               liveness (200 while the process runs)
 //	GET    /readyz                readiness (503 during drain)
+//	GET    /debug/solvez          live solve introspection: one progress snapshot per in-flight request
+//	GET    /debug/flightz         on-demand dump of the global flight-recorder ring (JSONL)
 //
 // Every /v1/place response carries X-Rulefit-Trace-Id (joinable with
 // the daemon's log lines and trace files) and, unless -no-slo is set,
 // a Server-Timing header attributing wall time to pipeline phases
 // (queue_wait, parse, encode, model_build, solve, extract).
 //
-// -debug-addr serves net/http/pprof plus a /metrics mirror, intended
-// for a loopback-only bind. -solve-delay artificially extends each
-// solve-slot occupancy for load experiments (cmd/ruleload -sweep
-// calibration); leave it zero in production. Placements are
-// byte-identical to running core.Place in-process: the daemon only
-// adds observability around the solve, never inside it.
+// -debug-addr serves net/http/pprof plus /metrics, /debug/solvez, and
+// /debug/flightz mirrors, intended for a loopback-only bind.
+// -solve-delay artificially extends each solve-slot occupancy for load
+// experiments (cmd/ruleload -sweep calibration); leave it zero in
+// production.
+//
+// Flight recorder: every solve's event stream feeds a per-request ring
+// and a global ring (-flight-events sizes both). When a solve dies on
+// its deadline or node limit, panics, or when admission sheds, the
+// relevant ring is dumped to -flight-dir (default: -trace-dir) as
+// flight-<trace_id>.jsonl — readable with cmd/traceview. With
+// -profile-threshold set, solves outrunning the threshold get a CPU
+// profile captured into -profile-dir until they finish, labeled by
+// trace_id/phase. Placements are byte-identical to running core.Place
+// in-process: the daemon only adds observability around the solve,
+// never inside it.
 package main
 
 import (
@@ -71,6 +84,10 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight solves on SIGTERM")
 		noSLO        = flag.Bool("no-slo", false, "disable per-request SLO instrumentation (phase histograms, Server-Timing, /statusz rates)")
 		solveDelay   = flag.Duration("solve-delay", 0, "artificially extend each solve-slot occupancy (load experiments only)")
+		flightEvents = flag.Int("flight-events", 0, "flight-recorder ring size in events (0 = 4096)")
+		flightDir    = flag.String("flight-dir", "", "write flight dumps into this directory (default: -trace-dir)")
+		profThresh   = flag.Duration("profile-threshold", 0, "capture a CPU profile for solves running longer than this (0 disables)")
+		profDir      = flag.String("profile-dir", "", "write threshold CPU profiles into this directory (default: -trace-dir)")
 	)
 	flag.Parse()
 
@@ -85,6 +102,10 @@ func run() error {
 		Logger:           logger,
 		DisableSLO:       *noSLO,
 		SolveDelay:       *solveDelay,
+		FlightEvents:     *flightEvents,
+		FlightDir:        *flightDir,
+		ProfileThreshold: *profThresh,
+		ProfileDir:       *profDir,
 	})
 	if err := s.Start(*addr); err != nil {
 		return err

@@ -57,6 +57,12 @@ var checkedTypes = []checked{
 		message:   "zero-value obs.WindowOpts adopts the implicit default layout and interval count; state Buckets/Intervals",
 	},
 	{
+		pkgPath:   "rulefit/internal/obs",
+		name:      "FlightOpts",
+		emptyOnly: true,
+		message:   "zero-value obs.FlightOpts adopts the implicit default ring size; state Size",
+	},
+	{
 		pkgPath:  "rulefit/internal/load",
 		name:     "Config",
 		bounding: []string{"Requests", "Duration"},

@@ -25,9 +25,14 @@ func positives() {
 	_ = daemon.Config{TraceDir: "/tmp/tr"} // want "daemon.Config without MaxInFlight"
 	_ = obs.HistogramOpts{}                // want "zero-value obs.HistogramOpts"
 	_ = obs.WindowOpts{}                   // want "zero-value obs.WindowOpts"
-	_ = load.Config{}                      // want "load.Config without Requests or Duration"
-	_ = load.Config{Seed: 7}               // want "load.Config without Requests or Duration"
-	_ = load.Config{Concurrency: 4}        // want "load.Config without Requests or Duration"
+	_ = obs.FlightOpts{}                   // want "zero-value obs.FlightOpts"
+	// The introspection fields do not bound admission.
+	_ = daemon.Config{FlightEvents: 4096}            // want "daemon.Config without MaxInFlight"
+	_ = daemon.Config{ProfileThreshold: time.Second} // want "daemon.Config without MaxInFlight"
+	_ = daemon.Config{FlightDir: "/tmp/f"}           // want "daemon.Config without MaxInFlight"
+	_ = load.Config{}                                // want "load.Config without Requests or Duration"
+	_ = load.Config{Seed: 7}                         // want "load.Config without Requests or Duration"
+	_ = load.Config{Concurrency: 4}                  // want "load.Config without Requests or Duration"
 }
 
 func negatives() {
@@ -46,6 +51,11 @@ func negatives() {
 	//lint:optzero smoke tool: shedding bound irrelevant for one request
 	_ = daemon.Config{}
 	_ = obs.WindowOpts{Intervals: 5} // non-empty: a window shape was considered
+	_ = obs.FlightOpts{Size: 1024}
+	_ = obs.FlightOpts{SampleHot: 8} // non-empty: a ring shape was considered
+	//lint:optzero test recorder: default ring size acceptable
+	_ = obs.FlightOpts{}
+	_ = daemon.Config{MaxInFlight: 2, FlightEvents: 256, ProfileThreshold: time.Second}
 	_ = load.Config{Requests: 32}
 	_ = load.Config{Duration: time.Second, RPS: 10}
 	//lint:optzero exploratory run: implicit default length acceptable

@@ -154,6 +154,11 @@ type Result struct {
 	StopReason string
 	BestBound  float64
 	Gap        float64
+	// LastIncumbentAtNode is the B&B node that produced the final
+	// incumbent (0 when none); RootGap is the gap the tree had to close
+	// from the post-cut root relaxation (-1 undefined).
+	LastIncumbentAtNode int
+	RootGap             float64
 }
 
 // Run builds and solves one instance, measuring wall-clock solve time.
@@ -168,29 +173,31 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Status:            pl.Status,
-		TotalRules:        pl.TotalRules,
-		Time:              time.Since(start),
-		Variables:         pl.Stats.Variables,
-		Constraints:       pl.Stats.Constraints,
-		Nodes:             pl.Stats.BnBNodes,
-		SimplexIters:      pl.Stats.SimplexIters,
-		Workers:           pl.Stats.Workers,
-		LURefactors:       pl.Stats.LURefactors,
-		Branched:          pl.Stats.Branched,
-		PrunedBound:       pl.Stats.PrunedBound,
-		PrunedInfeasible:  pl.Stats.PrunedInfeasible,
-		IntegralLeaves:    pl.Stats.IntegralLeaves,
-		LostSubtrees:      pl.Stats.LostSubtrees,
-		PrunedStale:       pl.Stats.PrunedStale,
-		Incumbents:        pl.Stats.Incumbents,
-		CutsAdded:         pl.Stats.CutsAdded,
-		CutRoundsRoot:     pl.Stats.CutRoundsRoot,
-		StrongBranchEvals: pl.Stats.StrongBranchEvals,
-		WarmStartReuses:   pl.Stats.WarmStartReuses,
-		StopReason:        pl.Stats.StopReason.String(),
-		BestBound:         pl.Stats.BestBound,
-		Gap:               pl.Stats.Gap,
+		Status:              pl.Status,
+		TotalRules:          pl.TotalRules,
+		Time:                time.Since(start),
+		Variables:           pl.Stats.Variables,
+		Constraints:         pl.Stats.Constraints,
+		Nodes:               pl.Stats.BnBNodes,
+		SimplexIters:        pl.Stats.SimplexIters,
+		Workers:             pl.Stats.Workers,
+		LURefactors:         pl.Stats.LURefactors,
+		Branched:            pl.Stats.Branched,
+		PrunedBound:         pl.Stats.PrunedBound,
+		PrunedInfeasible:    pl.Stats.PrunedInfeasible,
+		IntegralLeaves:      pl.Stats.IntegralLeaves,
+		LostSubtrees:        pl.Stats.LostSubtrees,
+		PrunedStale:         pl.Stats.PrunedStale,
+		Incumbents:          pl.Stats.Incumbents,
+		CutsAdded:           pl.Stats.CutsAdded,
+		CutRoundsRoot:       pl.Stats.CutRoundsRoot,
+		StrongBranchEvals:   pl.Stats.StrongBranchEvals,
+		WarmStartReuses:     pl.Stats.WarmStartReuses,
+		StopReason:          pl.Stats.StopReason.String(),
+		BestBound:           pl.Stats.BestBound,
+		Gap:                 pl.Stats.Gap,
+		LastIncumbentAtNode: pl.Stats.LastIncumbentAtNode,
+		RootGap:             pl.Stats.RootGap,
 	}, nil
 }
 

@@ -107,6 +107,11 @@ type RunRecord struct {
 	// -1 when undefined; best_bound is meaningful only when gap >= 0.
 	BestBound float64 `json:"best_bound"`
 	Gap       float64 `json:"gap"`
+	// Search-profile fields (additive): the node that produced the
+	// final incumbent (0 = none) and the root-relaxation gap the tree
+	// search closed (-1 undefined).
+	LastIncumbentAtNode int     `json:"last_incumbent_at_node"`
+	RootGap             float64 `json:"root_gap"`
 }
 
 // SpeedupRecord compares one worker count's total sweep wall time
@@ -175,30 +180,32 @@ func BuildReport(base Config, ruleCounts, capacities []int, seeds int, workerCou
 				}
 				for s, r := range p.Runs {
 					pr.Runs = append(pr.Runs, RunRecord{
-						Seed:              base.Seed + int64(s)*101,
-						Status:            r.Status.String(),
-						WallMS:            ms(r.Time),
-						TotalRules:        r.TotalRules,
-						Variables:         r.Variables,
-						Constraints:       r.Constraints,
-						Nodes:             r.Nodes,
-						SimplexIters:      r.SimplexIters,
-						Workers:           r.Workers,
-						LURefactors:       r.LURefactors,
-						Branched:          r.Branched,
-						PrunedBound:       r.PrunedBound,
-						PrunedInfeasible:  r.PrunedInfeasible,
-						IntegralLeaves:    r.IntegralLeaves,
-						LostSubtrees:      r.LostSubtrees,
-						PrunedStale:       r.PrunedStale,
-						Incumbents:        r.Incumbents,
-						CutsAdded:         r.CutsAdded,
-						CutRoundsRoot:     r.CutRoundsRoot,
-						StrongBranchEvals: r.StrongBranchEvals,
-						WarmStartReuses:   r.WarmStartReuses,
-						StopReason:        r.StopReason,
-						BestBound:         r.BestBound,
-						Gap:               r.Gap,
+						Seed:                base.Seed + int64(s)*101,
+						Status:              r.Status.String(),
+						WallMS:              ms(r.Time),
+						TotalRules:          r.TotalRules,
+						Variables:           r.Variables,
+						Constraints:         r.Constraints,
+						Nodes:               r.Nodes,
+						SimplexIters:        r.SimplexIters,
+						Workers:             r.Workers,
+						LURefactors:         r.LURefactors,
+						Branched:            r.Branched,
+						PrunedBound:         r.PrunedBound,
+						PrunedInfeasible:    r.PrunedInfeasible,
+						IntegralLeaves:      r.IntegralLeaves,
+						LostSubtrees:        r.LostSubtrees,
+						PrunedStale:         r.PrunedStale,
+						Incumbents:          r.Incumbents,
+						CutsAdded:           r.CutsAdded,
+						CutRoundsRoot:       r.CutRoundsRoot,
+						StrongBranchEvals:   r.StrongBranchEvals,
+						WarmStartReuses:     r.WarmStartReuses,
+						StopReason:          r.StopReason,
+						BestBound:           r.BestBound,
+						Gap:                 r.Gap,
+						LastIncumbentAtNode: r.LastIncumbentAtNode,
+						RootGap:             r.RootGap,
 					})
 					totals[w] += ms(r.Time)
 				}

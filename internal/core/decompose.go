@@ -167,6 +167,13 @@ func stitch(frags []*Placement, opts Options) *Placement {
 		if f.Workers > s.Workers {
 			s.Workers = f.Workers
 		}
+		// Per-fragment trees are independent; report the hardest one.
+		if f.LastIncumbentAtNode > s.LastIncumbentAtNode {
+			s.LastIncumbentAtNode = f.LastIncumbentAtNode
+		}
+		if f.RootGap > s.RootGap {
+			s.RootGap = f.RootGap
+		}
 	}
 	pl.Stats.Backend = opts.Backend
 	pl.Stats.Gap = 0

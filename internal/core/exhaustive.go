@@ -51,7 +51,7 @@ func PlaceExhaustive(prob *Problem, opts Options, maxVars int) (*Placement, erro
 			Status:   StatusInfeasible,
 			Policies: enc.policies,
 			Groups:   enc.groups,
-			Stats:    Stats{Backend: opts.Backend, Gap: -1},
+			Stats:    Stats{Backend: opts.Backend, Gap: -1, RootGap: -1},
 		}, nil
 	}
 	if maxVars <= 0 {
@@ -156,6 +156,7 @@ func PlaceExhaustive(prob *Problem, opts Options, maxVars int) (*Placement, erro
 	if !found {
 		pl.Status = StatusInfeasible
 		pl.Stats.Gap = -1
+		pl.Stats.RootGap = -1
 		return pl, nil
 	}
 	pl.Status = StatusOptimal

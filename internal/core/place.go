@@ -54,7 +54,7 @@ func Place(prob *Problem, opts Options) (*Placement, error) {
 			Status:   StatusInfeasible,
 			Policies: enc.policies,
 			Groups:   enc.groups,
-			Stats:    Stats{Backend: opts.Backend, Gap: -1},
+			Stats:    Stats{Backend: opts.Backend, Gap: -1, RootGap: -1},
 		}, nil
 	}
 	if opts.Objective == ObjMinMaxLoad && opts.Backend != BackendILP && !opts.SatisfyOnly {
@@ -98,6 +98,8 @@ func solveILP(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
 		Sink:            opts.SolverSink,
 		TraceID:         opts.traceID(),
 		Span:            solveSp,
+		Progress:        opts.Progress,
+		ProfileLabels:   opts.ProfileLabels,
 	})
 	if err != nil {
 		solveSp.End()
@@ -125,6 +127,8 @@ func solveILP(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
 	pl.Stats.StopReason = sol.Stats.StopReason
 	pl.Stats.BestBound = sol.Stats.BestBound
 	pl.Stats.Gap = sol.Stats.Gap
+	pl.Stats.LastIncumbentAtNode = sol.Stats.LastIncumbentAtNode
+	pl.Stats.RootGap = sol.Stats.RootGap
 	switch sol.Status {
 	case ilp.Optimal:
 		pl.Status = StatusOptimal
@@ -284,6 +288,7 @@ func solveSAT(enc *encoding, opts Options, span *obs.Span) (*Placement, error) {
 
 	pl := &Placement{Policies: enc.policies, Groups: enc.groups}
 	pl.Stats.Gap = -1 // the SAT backend carries no LP bound
+	pl.Stats.RootGap = -1
 	if !ok {
 		pl.Status = StatusInfeasible
 		return pl, nil

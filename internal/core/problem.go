@@ -130,6 +130,15 @@ type Options struct {
 	// (nil disables tracing). The placement is byte-identical with the
 	// sink attached or not.
 	SolverSink obs.Sink
+	// Progress, when non-nil, receives live solve snapshots (phase,
+	// incumbent, bound, gap) published from the ILP solver's sequential
+	// sections. Read-only for the solver; the placement is byte-identical
+	// with or without it.
+	Progress *obs.Progress
+	// ProfileLabels attaches pprof goroutine labels (trace_id, phase)
+	// around ILP solve phases so CPU profiles attribute samples to
+	// requests. Observational only.
+	ProfileLabels bool
 	// Request, when non-nil, scopes the run to one operational request:
 	// its Trace collects the phase spans when Options.Trace is unset,
 	// and its TraceID is stamped on every solver event so spans, B&B
@@ -304,6 +313,12 @@ type Stats struct {
 	// undefined. BestBound is meaningful only when Gap >= 0.
 	BestBound float64
 	Gap       float64
+	// LastIncumbentAtNode is the B&B node id that produced the final
+	// incumbent (0 when none); RootGap is the gap the tree search had to
+	// close from the post-cut root relaxation (-1 undefined). Both ILP
+	// backend.
+	LastIncumbentAtNode int
+	RootGap             float64
 }
 
 // Placement is the result of solving a placement problem.

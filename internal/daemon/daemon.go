@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"rulefit/internal/core"
+	"rulefit/internal/ilp"
 	"rulefit/internal/obs"
 	"rulefit/internal/spec"
 	"rulefit/internal/state"
@@ -83,6 +84,25 @@ type Config struct {
 	// creating one past the cap evicts the least-recently-used session
 	// (default 64).
 	MaxSessions int
+	// FlightEvents sizes the always-on flight-recorder rings (global
+	// and per-request) in events (default 4096). The rings retain the
+	// tail of the solver event stream for post-mortem dumps; see
+	// obs.FlightRecorder for the degradation-under-pressure contract.
+	FlightEvents int
+	// FlightDir, when non-empty, receives flight dumps as
+	// <FlightDir>/flight-<trace_id>.jsonl when a solve ends on its
+	// deadline or node limit, panics, or when admission sheds (default:
+	// TraceDir). Empty with an empty TraceDir disables file dumps;
+	// /debug/flightz still serves the global ring on demand.
+	FlightDir string
+	// ProfileThreshold, when positive, arms a per-request watchdog:
+	// solves still running after the threshold get a CPU profile
+	// captured until they finish (one at a time process-wide), written
+	// as <ProfileDir>/profile-<trace_id>.pprof, and every solve gets
+	// pprof goroutine labels (trace_id, phase). Zero disables both.
+	ProfileThreshold time.Duration
+	// ProfileDir is where threshold profiles land (default: TraceDir).
+	ProfileDir string
 }
 
 // withDefaults fills unset fields.
@@ -108,6 +128,15 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.Default
 	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = 4096
+	}
+	if c.FlightDir == "" {
+		c.FlightDir = c.TraceDir
+	}
+	if c.ProfileDir == "" {
+		c.ProfileDir = c.TraceDir //lint:sharedmut defaults are applied before the Server exists
+	}
 	return c
 }
 
@@ -130,6 +159,18 @@ type Server struct {
 	reqRing  *secRing // finished requests per second, for /statusz rates
 	shedRing *secRing // 429-shed requests per second
 	sessions *state.Manager
+	// now is the server's clock (time.Now in production); tests inject
+	// it to drive the rate rings and uptime without sleeping.
+	now func() time.Time
+	// flight is the global always-on flight recorder: every solve's
+	// events feed it alongside the per-request ring, so a shed or an
+	// on-demand /debug/flightz dump shows what the whole daemon was
+	// doing lately.
+	flight *obs.FlightRecorder
+	// solves registers live requests' progress cells for /debug/solvez.
+	solves *solveReg
+	// shedDumpSec rate-limits shed-triggered flight dumps to 1/sec.
+	shedDumpSec atomic.Int64
 }
 
 // New builds a server from cfg.
@@ -144,6 +185,9 @@ func New(cfg Config) *Server {
 		started:  time.Now(),
 		reqRing:  newSecRing(statusRingSlots),
 		shedRing: newSecRing(statusRingSlots),
+		now:      time.Now,
+		flight:   obs.NewFlightRecorder(obs.FlightOpts{Size: cfg.FlightEvents}),
+		solves:   newSolveReg(),
 	}
 	s.sessions = state.NewManager(state.Config{MaxSessions: cfg.MaxSessions, Logger: cfg.Logger})
 	s.mux.HandleFunc("/v1/place", s.handlePlace)
@@ -154,6 +198,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/debug/solvez", s.handleSolvez)
+	s.mux.HandleFunc("/debug/flightz", s.handleFlightz)
 
 	// The debug mux carries pprof (and a metrics mirror) so profiling
 	// endpoints can be bound to a loopback-only address in production.
@@ -164,6 +210,8 @@ func New(cfg Config) *Server {
 	s.debug.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.debug.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.debug.HandleFunc("/metrics", s.handleMetrics)
+	s.debug.HandleFunc("/debug/solvez", s.handleSolvez)
+	s.debug.HandleFunc("/debug/flightz", s.handleFlightz)
 	return s
 }
 
@@ -395,6 +443,14 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Register the request's live-progress cell before admission so
+	// /debug/solvez sees it through queue wait and solve alike; the
+	// solver overwrites the cell from its sequential sections.
+	prog := &obs.Progress{}
+	prog.Publish(obs.ProgressSnapshot{TraceID: traceID, Phase: "admitted", Gap: -1})
+	s.solves.add(traceID, prog)
+	defer s.solves.remove(traceID)
+
 	release, ok := s.acquireSlot(r, &st)
 	if !ok {
 		s.finish(w, r, st)
@@ -441,6 +497,8 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	st.parse = time.Since(parseStart)
 	opts.Request = obs.NewRequestCtx(traceID)
 	st.trace = opts.Request.Trace
+	opts.Progress = prog
+	opts.ProfileLabels = s.cfg.ProfileThreshold > 0
 
 	var traceFile *os.File
 	var traceJW *obs.JSONLWriter
@@ -453,8 +511,25 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		}
 		traceFile = f
 		traceJW = obs.NewJSONLWriter(f)
-		opts.SolverSink = traceJW
 	}
+	// Every solve feeds a per-request flight ring (post-mortem scoped to
+	// this request) and the server's global ring, on top of the optional
+	// full trace file. Sinks never feed back: the placement is
+	// byte-identical whatever is attached.
+	rec := obs.NewFlightRecorder(obs.FlightOpts{Size: s.cfg.FlightEvents})
+	sinks := []obs.Sink{rec, s.flight}
+	if traceJW != nil {
+		sinks = append(sinks, traceJW)
+	}
+	opts.SolverSink = obs.Multi(sinks...)
+	stopProf := s.watchProfile(traceID)
+	defer stopProf()
+	defer func() {
+		if p := recover(); p != nil {
+			s.dumpFlight(rec, traceID, "panic")
+			panic(p)
+		}
+	}()
 
 	pl, err := core.Place(prob, opts)
 	if traceFile != nil {
@@ -469,6 +544,12 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		st.code, st.status, st.err = http.StatusInternalServerError, "error", err
 		s.finish(w, r, st)
 		return
+	}
+	// A solve that died on its budget gets an automatic post-mortem:
+	// the per-request ring holds the tail of its event stream,
+	// including the final incumbent/bound state.
+	if pl.Stats.StopReason == ilp.StopDeadline || pl.Stats.StopReason == ilp.StopNodeLimit {
+		s.dumpFlight(rec, traceID, pl.Stats.StopReason.String())
 	}
 	st.code, st.status = http.StatusOK, pl.Status.String()
 	st.placement = pl
@@ -489,6 +570,9 @@ func (s *Server) acquireSlot(r *http.Request, st *requestState) (func(), bool) {
 		s.queued.Add(-1)
 		st.code, st.status = http.StatusTooManyRequests, "shed"
 		st.err = errors.New("server at capacity")
+		// Shedding means the daemon is saturated — capture what it was
+		// busy with (rate-limited inside).
+		s.dumpOnShed(st.traceID)
 		return nil, false
 	}
 	s.met.QueueDepth().Add(1)
@@ -609,9 +693,9 @@ func (s *Server) finish(w http.ResponseWriter, r *http.Request, st requestState)
 	if !s.cfg.DisableSLO {
 		phases = st.phases()
 		for _, p := range phases {
-			s.met.RecordPhase(p.name, p.d)
+			s.met.RecordPhaseTrace(p.name, p.d, st.traceID)
 		}
-		now := time.Now().Unix()
+		now := s.now().Unix()
 		s.reqRing.addAt(now, 1)
 		if st.status == "shed" {
 			s.shedRing.addAt(now, 1)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rulefit/internal/core"
+	"rulefit/internal/ilp"
 	"rulefit/internal/obs"
 	"rulefit/internal/spec"
 	"rulefit/internal/state"
@@ -143,6 +144,23 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	st.parse = time.Since(parseStart)
 	opts.Request = obs.NewRequestCtx(traceID)
 	st.trace = opts.Request.Trace
+	// ProfileLabels survives into the session's fixed opts (it is a
+	// plain bool, not a per-request pointer), so every future delta
+	// solve is label-attributable too. The sink and progress cell are
+	// per-request: they cover the initial cold solve only.
+	opts.ProfileLabels = s.cfg.ProfileThreshold > 0
+	prog := &obs.Progress{}
+	prog.Publish(obs.ProgressSnapshot{TraceID: traceID, Phase: "admitted", Gap: -1})
+	s.solves.add(traceID, prog)
+	defer s.solves.remove(traceID)
+	rec := obs.NewFlightRecorder(obs.FlightOpts{Size: s.cfg.FlightEvents})
+	opts.SolverSink = obs.Multi(rec, s.flight)
+	defer func() {
+		if p := recover(); p != nil {
+			s.dumpFlight(rec, traceID, "panic")
+			panic(p)
+		}
+	}()
 
 	sess, res, err := s.sessions.Create(explicit, opts)
 	if err != nil {
@@ -152,6 +170,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		s.finish(w, r, st)
 		return
+	}
+	if res.Placement.Stats.StopReason == ilp.StopDeadline ||
+		res.Placement.Stats.StopReason == ilp.StopNodeLimit {
+		s.dumpFlight(rec, traceID, res.Placement.Stats.StopReason.String())
 	}
 	s.met.Sessions().Set(int64(s.sessions.Len()))
 	s.recordSessionSolve(res)
@@ -240,7 +262,24 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request, id s
 	reqCtx := obs.NewRequestCtx(traceID)
 	st.trace = reqCtx.Trace
 
-	res, err := sess.Delta(req.Deltas, reqCtx, nil)
+	// Delta solves get the same post-mortem coverage as /v1/place: a
+	// per-delta flight ring plus the global ring, dumped if the re-solve
+	// dies on its budget or panics. Progress cells stay per-request
+	// (stripped from session opts), so /debug/solvez shows the delta as
+	// "admitted" for its whole stay.
+	prog := &obs.Progress{}
+	prog.Publish(obs.ProgressSnapshot{TraceID: traceID, Phase: "admitted", Gap: -1})
+	s.solves.add(traceID, prog)
+	defer s.solves.remove(traceID)
+	rec := obs.NewFlightRecorder(obs.FlightOpts{Size: s.cfg.FlightEvents})
+	defer func() {
+		if p := recover(); p != nil {
+			s.dumpFlight(rec, traceID, "panic")
+			panic(p)
+		}
+	}()
+
+	res, err := sess.Delta(req.Deltas, reqCtx, obs.Multi(rec, s.flight))
 	if err != nil {
 		st.code, st.status, st.err = http.StatusInternalServerError, "error", err
 		if errors.Is(err, state.ErrBadDelta) {
@@ -248,6 +287,10 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request, id s
 		}
 		s.finish(w, r, st)
 		return
+	}
+	if res.Placement.Stats.StopReason == ilp.StopDeadline ||
+		res.Placement.Stats.StopReason == ilp.StopNodeLimit {
+		s.dumpFlight(rec, traceID, res.Placement.Stats.StopReason.String())
 	}
 	s.met.RecordDelta(res.Path)
 	s.recordSessionSolve(res)

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"rulefit/internal/obs"
 )
 
 // secRing is a sliding-rate counter: a ring of one-second slots,
@@ -23,10 +25,17 @@ type secRing struct {
 // newSecRing returns a ring of n one-second slots.
 func newSecRing(n int) *secRing { return &secRing{slots: make([]int64, n)} }
 
-// addAt adds n to the slot for the given unix second.
+// addAt adds n to the slot for the given unix second. Seconds behind
+// the ring's frontier are clamped to it: an out-of-order add (clock
+// hiccup, a request finishing as another advances the ring) must land
+// in the current window, never in a slot a future advance will zero —
+// or worse, a "future" slot that silently inflates next window's sum.
 func (r *secRing) addAt(sec, n int64) {
 	r.mu.Lock()
 	r.advance(sec)
+	if sec < r.lastSec {
+		sec = r.lastSec
+	}
 	r.slots[sec%int64(len(r.slots))] += n
 	r.mu.Unlock()
 }
@@ -36,7 +45,7 @@ func (r *secRing) addAt(sec, n int64) {
 func (r *secRing) advance(sec int64) {
 	if r.lastSec == 0 || sec <= r.lastSec {
 		if r.lastSec == 0 {
-			r.lastSec = sec
+			r.lastSec = sec //lint:sharedmut locked-section helper; every caller holds r.mu
 		}
 		return
 	}
@@ -47,14 +56,21 @@ func (r *secRing) advance(sec int64) {
 	for i := int64(1); i <= gap; i++ {
 		r.slots[(r.lastSec+i)%int64(len(r.slots))] = 0
 	}
-	r.lastSec = sec
+	r.lastSec = sec //lint:sharedmut locked-section helper; every caller holds r.mu
 }
 
-// sumAt sums the window-many most recent slots ending at sec.
+// sumAt sums the window-many most recent slots ending at sec. The
+// advance-on-read keeps an idle ring honest: slots for the elapsed gap
+// are zeroed before summing, so a burst of requests followed by
+// minutes of silence reads as zero, not as the stale burst. A sec
+// behind the frontier reads at the frontier (same clamp as addAt).
 func (r *secRing) sumAt(sec int64, window int) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.advance(sec)
+	if sec < r.lastSec {
+		sec = r.lastSec
+	}
 	if window > len(r.slots) {
 		window = len(r.slots)
 	}
@@ -88,6 +104,9 @@ type StatusSnapshot struct {
 	// window (0 when the window saw no requests).
 	ShedRate1m float64 `json:"shed_rate_1m"`
 	ShedRate5m float64 `json:"shed_rate_5m"`
+	// ActiveSolves is the live-progress snapshot of every request
+	// currently inside the daemon (the same data /debug/solvez serves).
+	ActiveSolves []obs.ProgressSnapshot `json:"active_solves,omitempty"`
 }
 
 // statusAt assembles the snapshot for the given unix second.
@@ -110,12 +129,13 @@ func (s *Server) statusAt(sec int64, uptime time.Duration) StatusSnapshot {
 	if snap.Requests5m > 0 {
 		snap.ShedRate5m = float64(snap.Shed5m) / float64(snap.Requests5m)
 	}
+	snap.ActiveSolves = s.solves.snapshots()
 	return snap
 }
 
 // handleStatusz serves the saturation/rate snapshot as JSON.
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
-	now := time.Now()
+	now := s.now()
 	snap := s.statusAt(now.Unix(), now.Sub(s.started))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Cache-Control", "no-store")

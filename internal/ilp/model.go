@@ -265,6 +265,12 @@ type Stats struct {
 	PrunedStale int
 	// Incumbents counts incumbent improvements (first solution included).
 	Incumbents int
+	// LastIncumbentAtNode is the node id that produced the final
+	// incumbent (0 when no incumbent landed). A low value against a high
+	// Nodes total means the search found the eventual answer early and
+	// spent the rest of the tree proving it — the signal pseudocost
+	// branching is meant to improve.
+	LastIncumbentAtNode int
 
 	// CutsAdded counts lifted cover cuts accepted into the root pool, and
 	// CutRoundsRoot the last root separation round that found work.
@@ -288,4 +294,9 @@ type Stats struct {
 	// undefined (no incumbent, infeasible, or unbounded) — a sentinel
 	// rather than NaN/Inf so Stats stays JSON-encodable.
 	Gap float64
+	// RootGap is the relative gap the tree search had to close: the
+	// final objective against the root relaxation bound after cuts,
+	// (Objective - root) / max(|Objective|, 1e-9), >= 0. -1 when
+	// undefined (no incumbent, or the root LP never completed).
+	RootGap float64
 }

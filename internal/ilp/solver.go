@@ -1,9 +1,11 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -51,6 +53,19 @@ type Options struct {
 	// Span, when non-nil, is the parent under which the solver opens
 	// presolve / root_lp / search timing child spans.
 	Span *obs.Span
+	// Progress, when non-nil, receives atomically-published live
+	// snapshots (phase, incumbent, best bound, gap, nodes, elapsed) from
+	// the solver's sequential sections — the daemon's /debug/solvez
+	// feed. Like Sink, nothing is ever read back: the search and the
+	// returned solution are byte-identical with or without it, and a nil
+	// Progress costs one branch per publish site.
+	Progress *obs.Progress
+	// ProfileLabels, when set, applies runtime/pprof goroutine labels
+	// (trace_id, phase) around the solve phases, so CPU profiles of a
+	// busy daemon attribute samples to requests and phases. Worker
+	// goroutines inherit the labels. Off by default: label swaps
+	// allocate, and unprofiled paths should not pay for them.
+	ProfileLabels bool
 }
 
 // Solve minimizes the model. The returned solution's Values are rounded
@@ -101,9 +116,20 @@ func solve(m *Model, opts Options, start time.Time) (Solution, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	stats := Stats{Workers: workers, Gap: -1}
+	if opts.ProfileLabels {
+		// Restore the goroutine's label set on exit so a request
+		// handler's labels don't leak past its solve.
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
+	stats := Stats{Workers: workers, Gap: -1, RootGap: -1}
 	work := m
 	if !opts.DisablePresolve {
+		solvePhaseLabels(opts.ProfileLabels, opts.TraceID, "presolve")
+		if opts.Progress != nil {
+			opts.Progress.Publish(obs.ProgressSnapshot{TraceID: opts.TraceID,
+				Phase: "presolve", Gap: -1, Workers: workers,
+				ElapsedMS: msSince(start)}) //lint:detsource timing telemetry, never read back into the search
+		}
 		pre := opts.Span.Child("presolve")
 		res := presolve(m, lo, hi, &stats)
 		pre.SetCount("fixes", int64(stats.PresolveFix))
@@ -116,6 +142,11 @@ func solve(m *Model, opts Options, start time.Time) (Solution, error) {
 			if opts.Sink != nil {
 				opts.Sink.Event(obs.Event{Kind: obs.KindDone, Outcome: Infeasible.String(),
 					Reason: StopNone.String(), BranchVar: -1, Gap: -1, TimeMS: msSince(start)})
+			}
+			if opts.Progress != nil {
+				opts.Progress.Publish(obs.ProgressSnapshot{TraceID: opts.TraceID,
+					Phase: "done", Gap: -1, Workers: workers, Done: true,
+					ElapsedMS: msSince(start)}) //lint:detsource timing telemetry, never read back into the search
 			}
 			return Solution{Status: Infeasible, Stats: stats}, nil
 		}
@@ -144,6 +175,9 @@ func solve(m *Model, opts Options, start time.Time) (Solution, error) {
 		sink:        opts.Sink,
 		span:        opts.Span,
 		start:       start,
+		progress:    opts.Progress,
+		traceID:     opts.TraceID,
+		labels:      opts.ProfileLabels,
 		lostBound:   math.Inf(1),
 	}
 	sol, err := bb.run(lo, hi)
@@ -157,6 +191,19 @@ func solve(m *Model, opts Options, start time.Time) (Solution, error) {
 // never read back into the search.
 func msSince(start time.Time) float64 {
 	return float64(time.Since(start).Microseconds()) / 1e3
+}
+
+// solvePhaseLabels applies pprof goroutine labels (trace_id, phase) for
+// one solve phase when enabled; worker goroutines spawned during the
+// phase inherit them, so profile samples from parallel node LPs
+// attribute to the owning solve. Purely observational — labels are
+// profiler metadata and never influence the search.
+func solvePhaseLabels(enabled bool, traceID, phase string) {
+	if !enabled {
+		return
+	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("trace_id", traceID, "phase", phase)))
 }
 
 type presolveResult int
@@ -319,10 +366,20 @@ type bnb struct {
 
 	// sink/span/start feed the observability layer. All emission happens
 	// in the sequential sections (run and the merge loop), and nothing is
-	// read back, so they cannot perturb the search.
-	sink  obs.Sink
-	span  *obs.Span
-	start time.Time
+	// read back, so they cannot perturb the search. progress/traceID/
+	// labels extend the same contract to live snapshots and pprof labels.
+	sink     obs.Sink
+	span     *obs.Span
+	start    time.Time
+	progress *obs.Progress
+	traceID  string
+	labels   bool
+
+	// rootBound is the root relaxation bound after the cut loop (ceiled
+	// when the objective is integral); haveRoot marks it valid. Feeds
+	// Stats.RootGap and progress snapshots before the first incumbent.
+	rootBound float64
+	haveRoot  bool
 
 	objIntegral bool
 	fullPricing bool
@@ -419,6 +476,7 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 			break
 		}
 	}
+	b.enterPhase("root_lp")
 	rootSp := b.span.Child("root_lp")
 	s := newLPSolver(m, lo, hi, nil)
 	s.deadline = b.deadline
@@ -444,6 +502,7 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 	}
 
 	if !b.disableCuts {
+		b.enterPhase("cuts")
 		cutSp := b.span.Child("cuts")
 		var cst lpStatus
 		s, cst, err = b.rootCutLoop(s, lo, hi)
@@ -486,6 +545,7 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 	if b.objIntegral {
 		rootBound = math.Ceil(rootBound - 1e-6)
 	}
+	b.rootBound, b.haveRoot = rootBound, true
 
 	rootX := s.primalValues()
 	root := &workItem{
@@ -508,6 +568,7 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 				Bound: rootBound, BranchVar: frac, Frac: math.Min(f, 1-f), Gap: -1})
 		}
 		b.deque = b.makeChildren(root, &rootRes, frac)
+		b.enterPhase("search")
 		searchSp := b.span.Child("search")
 		err := b.search(s)
 		searchSp.SetCount("nodes", int64(b.stats.Nodes))
@@ -518,6 +579,7 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 	} else {
 		b.stats.IntegralLeaves++
 		b.stats.Incumbents++
+		b.stats.LastIncumbentAtNode = 1
 		x, obj := b.canonical(rootX)
 		if b.sink != nil {
 			b.emit(obs.Event{Kind: obs.KindNode, Node: 1, Outcome: obs.OutcomeIntegral,
@@ -548,6 +610,42 @@ func (b *bnb) run(lo, hi []float64) (Solution, error) {
 func (b *bnb) emit(e obs.Event) {
 	e.TimeMS = msSince(b.start)
 	b.sink.Event(e)
+}
+
+// enterPhase marks a solve-phase transition for the introspection
+// layer: pprof labels when profiling is enabled, and a progress
+// snapshot when one is attached. Called only from sequential sections;
+// costs two branches when introspection is off.
+func (b *bnb) enterPhase(phase string) {
+	solvePhaseLabels(b.labels, b.traceID, phase)
+	if b.progress != nil {
+		b.publishProgress(phase)
+	}
+}
+
+// publishProgress posts one live snapshot. Callers guard with
+// b.progress != nil (the snapshot assembly walks the open deque, which
+// the disabled path must not pay for). Sequential sections only, so
+// every field read here is stable.
+func (b *bnb) publishProgress(phase string) {
+	s := obs.ProgressSnapshot{TraceID: b.traceID, Phase: phase,
+		Nodes: b.stats.Nodes, Incumbents: b.stats.Incumbents,
+		Workers: b.workers, Gap: -1,
+		ElapsedMS: msSince(b.start)} //lint:detsource timing telemetry, never read back into the search
+	bb := b.openBound()
+	if b.haveInc {
+		if bb > b.incumbentObj {
+			bb = b.incumbentObj
+		}
+		s.Incumbent, s.HaveIncumbent = b.incumbentObj, true
+		s.BestBound = bb
+		s.Gap = (b.incumbentObj - bb) / math.Max(math.Abs(b.incumbentObj), 1e-9)
+	} else if !math.IsInf(bb, 0) {
+		s.BestBound = bb
+	} else if b.haveRoot {
+		s.BestBound = b.rootBound
+	}
+	b.progress.Publish(s)
 }
 
 // stopReason derives the stop reason from the limit flags, in
@@ -600,6 +698,11 @@ func (b *bnb) noSolution(status Status) (Solution, error) {
 		b.emit(obs.Event{Kind: obs.KindDone, Node: b.stats.Nodes, Outcome: status.String(),
 			Reason: b.stats.StopReason.String(), Iters: b.stats.SimplexIters,
 			BranchVar: -1, Gap: -1})
+	}
+	if b.progress != nil {
+		b.progress.Publish(obs.ProgressSnapshot{TraceID: b.traceID, Phase: "done",
+			Nodes: b.stats.Nodes, Workers: b.workers, Gap: -1, Done: true,
+			ElapsedMS: msSince(b.start)}) //lint:detsource timing telemetry, never read back into the search
 	}
 	return Solution{Status: status, Stats: b.stats}, nil
 }
@@ -692,9 +795,14 @@ func (b *bnb) search(s *lpSolver) error {
 			return nil
 		}
 		// Poll the wall clock every ~deadlineEveryNodes nodes and after
-		// rounds that improved the incumbent, not per node.
+		// rounds that improved the incumbent, not per node. Progress
+		// snapshots share the cadence: bounded publish cost, and the
+		// wall clock is being read anyway.
 		if sinceDeadline >= deadlineEveryNodes || improved {
 			sinceDeadline = 0
+			if b.progress != nil {
+				b.publishProgress("search")
+			}
 			if b.deadlineExpired() {
 				b.hitDeadline = true
 				return nil
@@ -862,6 +970,7 @@ func (b *bnb) mergeNode(it *workItem, r *nodeResult) error {
 		b.incumbentObj = obj
 		b.incumbent = x
 		b.stats.Incumbents++
+		b.stats.LastIncumbentAtNode = it.id
 		if b.sink != nil {
 			b.emit(obs.Event{Kind: obs.KindIncumbent, Node: it.id, Parent: it.parent,
 				Depth: it.depth, Incumbent: obj, BranchVar: -1, Gap: -1})
@@ -1197,10 +1306,24 @@ func (b *bnb) finish(x []float64, obj float64, proven bool) (Solution, error) {
 	}
 	b.stats.StopReason = b.stopReason()
 	b.stats.BestBound, b.stats.Gap = b.bestBoundAndGap(obj, proven)
+	if b.haveRoot {
+		rg := (obj - b.rootBound) / math.Max(math.Abs(obj), 1e-9)
+		if rg < 0 {
+			rg = 0
+		}
+		b.stats.RootGap = rg
+	}
 	if b.sink != nil {
 		b.emit(obs.Event{Kind: obs.KindDone, Node: b.stats.Nodes, Outcome: status.String(),
 			Reason: b.stats.StopReason.String(), Iters: b.stats.SimplexIters, BranchVar: -1,
 			Incumbent: obj, BestBound: b.stats.BestBound, Gap: b.stats.Gap})
+	}
+	if b.progress != nil {
+		b.progress.Publish(obs.ProgressSnapshot{TraceID: b.traceID, Phase: "done",
+			Nodes: b.stats.Nodes, Incumbent: obj, HaveIncumbent: true,
+			BestBound: b.stats.BestBound, Gap: b.stats.Gap,
+			Incumbents: b.stats.Incumbents, Workers: b.workers, Done: true,
+			ElapsedMS: msSince(b.start)}) //lint:detsource timing telemetry, never read back into the search
 	}
 	return Solution{Status: status, Objective: obj, Values: vals, Stats: b.stats}, nil
 }

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -54,6 +56,12 @@ type Metrics struct {
 	// (queue_wait, parse, encode, model_build, solve, extract), fed by
 	// RecordPhase from the daemon's per-request span tree.
 	phaseWall LabeledHistogram
+
+	// phaseSlow keeps, per phase, the slowest observation's trace ID —
+	// the exemplar that turns a p99 histogram reading into a concrete
+	// trace to pull. Fed by RecordPhaseTrace.
+	phaseSlowMu sync.Mutex
+	phaseSlow   map[string]PhaseExemplar
 
 	// Session-layer instruments (the daemon's stateful delta path).
 	sessions    Gauge          // live placement sessions
@@ -117,6 +125,59 @@ func (m *Metrics) initHists() {
 func (m *Metrics) RecordPhase(phase string, d time.Duration) {
 	m.initHists()
 	m.phaseWall.Observe(phase, d.Seconds())
+}
+
+// PhaseExemplar is the slowest recorded observation of one phase: its
+// trace ID, the observed seconds, and the histogram bucket bound the
+// observation landed in — so the top bucket of a phase histogram points
+// at a concrete trace to pull.
+type PhaseExemplar struct {
+	Phase   string  `json:"phase"`
+	TraceID string  `json:"trace_id"`
+	Seconds float64 `json:"seconds"`
+	// BucketLE is the upper bound of the phase-histogram bucket this
+	// observation fell into (+Inf encoded as 0 is impossible; math.Inf
+	// is not JSON-encodable, so +Inf is reported as -1).
+	BucketLE float64 `json:"bucket_le"`
+}
+
+// RecordPhaseTrace is RecordPhase plus exemplar tracking: if this is
+// the slowest observation of the phase so far, its trace ID becomes
+// the phase's exemplar.
+func (m *Metrics) RecordPhaseTrace(phase string, d time.Duration, traceID string) {
+	m.RecordPhase(phase, d)
+	if traceID == "" {
+		return
+	}
+	sec := d.Seconds()
+	m.phaseSlowMu.Lock()
+	if cur, ok := m.phaseSlow[phase]; !ok || sec > cur.Seconds {
+		if m.phaseSlow == nil {
+			m.phaseSlow = make(map[string]PhaseExemplar)
+		}
+		le := -1.0
+		for _, b := range phaseWallBuckets.Bounds() {
+			if sec <= b {
+				le = b
+				break
+			}
+		}
+		m.phaseSlow[phase] = PhaseExemplar{Phase: phase, TraceID: traceID, Seconds: sec, BucketLE: le}
+	}
+	m.phaseSlowMu.Unlock()
+}
+
+// PhaseExemplars returns the per-phase slowest-observation exemplars,
+// sorted by phase name.
+func (m *Metrics) PhaseExemplars() []PhaseExemplar {
+	m.phaseSlowMu.Lock()
+	out := make([]PhaseExemplar, 0, len(m.phaseSlow))
+	for _, ex := range m.phaseSlow { //lint:mapdet output is sorted by phase below
+		out = append(out, ex)
+	}
+	m.phaseSlowMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
 }
 
 // SolveSample is the per-solve bulk update recorded into a Metrics.
@@ -250,6 +311,9 @@ func (m *Metrics) Reset() {
 	m.queue.Set(0)
 	m.byStatus.reset()
 	m.phaseWall.reset()
+	m.phaseSlowMu.Lock()
+	m.phaseSlow = nil
+	m.phaseSlowMu.Unlock()
 	m.sessions.Set(0)
 	m.deltas.reset()
 	m.encodeCache.reset()
@@ -311,6 +375,9 @@ type MetricsSnapshot struct {
 	// PhaseWall attributes request wall time per pipeline phase
 	// (absent until the daemon records a request).
 	PhaseWall []LabeledHist `json:"request_phase_seconds_hist,omitempty"`
+	// PhaseExemplars names, per phase, the trace whose observation was
+	// slowest — the concrete request behind the histogram's top bucket.
+	PhaseExemplars []PhaseExemplar `json:"phase_exemplars,omitempty"`
 }
 
 // Snapshot copies the current instrument values.
@@ -342,6 +409,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SolveItersHist:   m.solveItersHist.Snapshot(),
 		InstalledRules:   m.placedRules.Snapshot(),
 		PhaseWall:        m.phaseWall.Snapshot(),
+		PhaseExemplars:   m.PhaseExemplars(),
 	}
 	s.SessionsActive = m.sessions.Value()
 	for _, lc := range m.byStatus.Snapshot() {

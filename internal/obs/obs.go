@@ -65,6 +65,11 @@ const (
 	// KindDone closes the trace: final status (Outcome), stop reason
 	// (Reason), node/iteration totals, Incumbent, BestBound, Gap.
 	KindDone = "done"
+	// KindFlightMeta heads a flight-recorder dump (see FlightRecorder):
+	// Node carries the retained event count, Seen/Dropped/Sampled the
+	// loss accounting. Never emitted by the solver itself; its presence
+	// marks a trace as a partial (ring-buffer) dump.
+	KindFlightMeta = "flight_meta"
 )
 
 // Node outcomes carried by KindNode events. Every expanded node gets
@@ -126,6 +131,11 @@ type Event struct {
 	Gap float64 `json:"gap"`
 	// Reason is the stop reason (KindDone only).
 	Reason string `json:"reason,omitempty"`
+	// Seen/Dropped/Sampled carry a flight dump's loss accounting
+	// (KindFlightMeta only; zero and omitted on solver events).
+	Seen    int `json:"seen,omitempty"`
+	Dropped int `json:"dropped,omitempty"`
+	Sampled int `json:"sampled,omitempty"`
 	// TimeMS is milliseconds since solve start. Timing field:
 	// informational only, excluded from determinism comparisons.
 	TimeMS float64 `json:"time_ms"`

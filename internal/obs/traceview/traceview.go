@@ -41,6 +41,13 @@ type Summary struct {
 	FinalBound    float64        `json:"final_bound"`
 	FinalGap      float64        `json:"final_gap"`
 	MaxDepth      int            `json:"max_depth"`
+	// Partial marks a flight-recorder ring dump: the trace is the tail
+	// of the event stream, so a missing done event is expected and the
+	// loss accounting below says how much is gone.
+	Partial       bool `json:"partial,omitempty"`
+	SeenEvents    int  `json:"seen_events,omitempty"`
+	DroppedEvents int  `json:"dropped_events,omitempty"`
+	SampledEvents int  `json:"sampled_events,omitempty"`
 	hasDone       bool
 }
 
@@ -89,6 +96,11 @@ func Of(events []obs.Event) *Summary {
 			s.FinalObj = e.Incumbent
 			s.FinalBound = e.BestBound
 			s.FinalGap = e.Gap
+		case obs.KindFlightMeta:
+			s.Partial = true
+			s.SeenEvents = e.Seen
+			s.DroppedEvents = e.Dropped
+			s.SampledEvents = e.Sampled
 		}
 	}
 	return s
@@ -96,7 +108,11 @@ func Of(events []obs.Event) *Summary {
 
 // Check verifies the trace's internal accounting: every expanded node
 // carries exactly one outcome (so outcome counts sum to the node
-// total), and the done event's node count matches.
+// total), and the trace is closed by a done event. Partial
+// flight-recorder dumps keep the outcome consistency check (it holds
+// over whatever tail the ring retained) but are excused from the
+// done-event requirement — a ring dumped mid-solve, or after the ring
+// overwrote the beginning, has no reason to contain one.
 func (s *Summary) Check() error {
 	sum := 0
 	for _, n := range s.Outcomes {
@@ -105,7 +121,7 @@ func (s *Summary) Check() error {
 	if sum != s.Nodes {
 		return fmt.Errorf("outcome counts sum to %d, want %d nodes", sum, s.Nodes)
 	}
-	if !s.hasDone {
+	if !s.hasDone && !s.Partial {
 		return fmt.Errorf("trace has no done event")
 	}
 	return nil
@@ -117,6 +133,10 @@ func (s *Summary) HasDone() bool { return s.hasDone }
 // Render formats the summary as a human-readable report.
 func (s *Summary) Render() string {
 	var sb strings.Builder
+	if s.Partial {
+		fmt.Fprintf(&sb, "partial flight dump: %d of %d events retained (%d dropped under contention, %d sampled away)\n",
+			s.Events-1, s.SeenEvents, s.DroppedEvents, s.SampledEvents)
+	}
 	fmt.Fprintf(&sb, "trace: %d events, %d nodes (max depth %d), %d stale skips, %d incumbents\n",
 		s.Events, s.Nodes, s.MaxDepth, s.StaleSkips, s.Incumbents)
 	fmt.Fprintf(&sb, "effort: %d simplex iters, %d LU refactorizations, %d presolve fixes, root bound %g\n",

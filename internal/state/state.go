@@ -162,6 +162,7 @@ func (m *Manager) Create(sp *spec.Problem, opts core.Options) (*Session, *Result
 	own := sp.Clone()
 	fixed := opts
 	fixed.Request, fixed.Trace, fixed.SolverSink = nil, nil, nil
+	fixed.Progress = nil      // live-progress cells are per-request, never per-session
 	fixed.EncodeCache = nil   // the session attaches its own
 	fixed.SolutionCache = nil // likewise
 	s := &Session{

@@ -82,6 +82,62 @@ curl -sf http://127.0.0.1:18090/statusz | grep -q '"requests_1m"' || fail=1
 kill -TERM "$daemon_pid" 2>/dev/null
 wait "$daemon_pid" 2>/dev/null || true
 
+step "introspection smoke (solvez mid-solve, deadline flight dump, traceview)"
+go build -o /tmp/traceview ./cmd/traceview || fail=1
+go run ./cmd/benchgen -k 4 -rules 8 -capacity 60 -ingresses 4 -paths-per-ingress 4 -out /tmp/introspect-problem.json || fail=1
+rm -rf /tmp/flight-smoke && mkdir -p /tmp/flight-smoke
+/tmp/ruleplaced -addr 127.0.0.1:18093 -max-inflight 1 -solve-delay 2s \
+    -flight-dir /tmp/flight-smoke >/tmp/ruleplaced-introspect.log 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+    curl -sf http://127.0.0.1:18093/readyz >/dev/null && break
+    sleep 0.1
+done
+printf '{"problem": %s, "options": {"merging": true, "timeLimitSec": 60}}' \
+    "$(cat /tmp/introspect-problem.json)" > /tmp/introspect-request.json
+curl -sf -X POST --data @/tmp/introspect-request.json \
+    http://127.0.0.1:18093/v1/place > /tmp/introspect-place.json &
+curl_pid=$!
+# Scrape the live-solve endpoint while the request occupies its
+# (artificially stretched) slot: a snapshot with a gap field must show.
+solvez_ok=0
+for _ in $(seq 1 100); do
+    curl -sf http://127.0.0.1:18093/debug/solvez > /tmp/solvez.json 2>/dev/null || true
+    if grep -q '"trace_id"' /tmp/solvez.json && grep -q '"gap"' /tmp/solvez.json; then
+        solvez_ok=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$solvez_ok" = 1 ] || { echo "introspection smoke: no live /debug/solvez snapshot"; fail=1; }
+wait "$curl_pid" || { echo "introspection smoke: place request failed"; fail=1; }
+grep -q '"status":"optimal"' /tmp/introspect-place.json \
+    || { echo "introspection smoke: place not optimal"; fail=1; }
+curl -sf http://127.0.0.1:18093/debug/flightz | /tmp/traceview -check >/dev/null \
+    || { echo "introspection smoke: flightz dump failed traceview -check"; fail=1; }
+# Deadline-killed solve: a tight-capacity instance (the hard Fig. 7
+# regime) killed at 250ms must leave its per-request flight ring in
+# -flight-dir, and traceview must parse it as a partial trace.
+go run ./cmd/benchgen -k 4 -rules 20 -capacity 25 -out /tmp/introspect-tight-problem.json || fail=1
+printf '{"problem": %s, "options": {"merging": true, "timeLimitSec": 0.25}}' \
+    "$(cat /tmp/introspect-tight-problem.json)" > /tmp/introspect-tight.json
+curl -sf -X POST --data @/tmp/introspect-tight.json \
+    http://127.0.0.1:18093/v1/place > /tmp/introspect-killed.json \
+    || { echo "introspection smoke: tight place request failed"; fail=1; }
+if grep -q '"stop_reason":"deadline"' /tmp/introspect-killed.json; then
+    dump=$(ls -t /tmp/flight-smoke/flight-req-*.jsonl 2>/dev/null | head -1)
+    [ -s "$dump" ] || { echo "introspection smoke: no flight dump in /tmp/flight-smoke"; fail=1; }
+    /tmp/traceview -check "$dump" | grep -q 'partial' \
+        || { echo "introspection smoke: dump not a partial trace"; fail=1; }
+else
+    echo "solve beat the 250ms deadline; skipping dump assertions"
+fi
+kill -TERM "$daemon_pid" 2>/dev/null
+wait "$daemon_pid" 2>/dev/null || true
+
+step "introspection: disabled-overhead gate"
+go test -run 'TestDisabledIntrospectionOverheadSmoke' ./internal/ilp/ || fail=1
+
 step "delta smoke (live session replay, byte-identity + loaddiff gates)"
 /tmp/ruleplaced -addr 127.0.0.1:18092 >/tmp/ruleplaced-delta.log 2>&1 &
 daemon_pid=$!
